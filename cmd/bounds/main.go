@@ -1,0 +1,107 @@
+// Command bounds answers "is this parameterization safe?": it evaluates
+// the neat bound, the PSS consistency baseline, the PSS attack threshold,
+// Theorems 1 and 2, and (optionally) the full Lemma 2–8 verification chain
+// at a given (n, Δ, ν, c).
+//
+// Usage:
+//
+//	bounds -nu 0.3                      # thresholds at ν
+//	bounds -c 2                         # νmax of every curve at c
+//	bounds -n 100000 -delta 1000 -nu 0.3 -c 2 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neatbound"
+
+	"neatbound/internal/bounds"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bounds:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bounds", flag.ContinueOnError)
+	nu := fs.Float64("nu", 0, "adversarial fraction ν ∈ (0, ½)")
+	c := fs.Float64("c", 0, "expected Δ-delays per block")
+	n := fs.Int("n", 100000, "number of miners (for -verify)")
+	delta := fs.Int("delta", 1000, "delay bound Δ (for -verify)")
+	verify := fs.Bool("verify", false, "run the Lemma 2–8 verification chain (needs -nu and -c)")
+	e1 := fs.Float64("eps1", 0.05, "slack constant ε₁ ∈ (0, 1)")
+	e2 := fs.Float64("eps2", 0.05, "slack constant ε₂ > 0")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eps := neatbound.Epsilons{E1: *e1, E2: *e2}
+	if *nu > 0 {
+		neat, err := neatbound.NeatBoundC(*nu)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("at ν = %g:\n", *nu)
+		fmt.Printf("  neat bound (this paper):   c > %.6g\n", neat)
+		pss, err := bounds.PSSConsistencyMinC(*nu)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  PSS consistency analysis:  c > %.6g\n", pss)
+		minC, err := neatbound.Theorem2MinC(*nu, float64(*delta), eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  Theorem 2 at Δ=%d, ε=(%g,%g): c ≥ %.6g\n", *delta, *e1, *e2, minC)
+	}
+	if *c > 0 {
+		fmt.Printf("at c = %g:\n", *c)
+		v, err := neatbound.NeatBoundNuMax(*c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  neat νmax (this paper):    %.6g\n", v)
+		if v, err = neatbound.PSSConsistencyNuMax(*c); err != nil {
+			return err
+		}
+		fmt.Printf("  PSS consistency νmax:      %.6g\n", v)
+		if v, err = neatbound.PSSAttackNuMin(*c); err != nil {
+			return err
+		}
+		fmt.Printf("  PSS attack νmin:           %.6g\n", v)
+	}
+	if *verify {
+		if *nu <= 0 || *c <= 0 {
+			return fmt.Errorf("-verify needs both -nu and -c")
+		}
+		pr, err := neatbound.ParamsFromC(*n, *delta, *nu, *c)
+		if err != nil {
+			return err
+		}
+		verdict, err := neatbound.Classify(pr)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nclassification:", verdict)
+		checks, err := neatbound.VerifyLemmaChain(pr, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Println("lemma chain (52)–(59):")
+		for _, ck := range checks {
+			status := "ok"
+			if !ck.Holds {
+				status = "FAIL"
+			}
+			fmt.Printf("  %-28s %-4s  %s\n", ck.Name, status, ck.Description)
+		}
+	}
+	if *nu <= 0 && *c <= 0 {
+		return fmt.Errorf("give -nu and/or -c")
+	}
+	return nil
+}

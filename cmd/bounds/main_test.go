@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestRunNuOnly(t *testing.T) {
+	if err := run([]string{"-nu", "0.3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCOnly(t *testing.T) {
+	if err := run([]string{"-c", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerify(t *testing.T) {
+	if err := run([]string{"-nu", "0.3", "-c", "2", "-n", "1000", "-delta", "100", "-verify"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerifyNeedsBoth(t *testing.T) {
+	if err := run([]string{"-nu", "0.3", "-verify"}); err == nil {
+		t.Error("-verify without -c accepted")
+	}
+}
+
+func TestRunNothingGiven(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no arguments accepted")
+	}
+}
+
+func TestRunInvalidNu(t *testing.T) {
+	if err := run([]string{"-nu", "0.9"}); err == nil {
+		t.Error("ν=0.9 accepted")
+	}
+}
+
+func TestRunBadEpsilons(t *testing.T) {
+	if err := run([]string{"-nu", "0.3", "-eps1", "2"}); err == nil {
+		t.Error("ε₁=2 accepted")
+	}
+}

@@ -1,0 +1,82 @@
+// Command figure1 regenerates Figure 1 of the paper: the maximum
+// tolerable adversarial fraction νmax against c = 1/(pnΔ) for the neat
+// bound of this paper, the PSS consistency analysis, and the PSS attack.
+//
+// Usage:
+//
+//	figure1 [-points 61] [-csv out.csv] [-noplot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neatbound/internal/bounds"
+	"neatbound/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figure1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figure1", flag.ContinueOnError)
+	points := fs.Int("points", 61, "number of c grid points on [0.1, 100]")
+	csvPath := fs.String("csv", "", "write series as CSV to this file ('-' for stdout)")
+	noplot := fs.Bool("noplot", false, "suppress the ASCII plot")
+	extended := fs.Bool("extended", false, "add the finite-Δ Theorem-2 and exact-PSS curves")
+	n := fs.Int("n", 100000, "miner count for the extended curves")
+	delta := fs.Int("delta", 100000, "delay bound for the extended curves")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grid := figures.Figure1CDefault(*points)
+	var series []figures.Series
+	var err error
+	if *extended {
+		series, err = figures.Figure1Extended(grid, *n, *delta, bounds.Epsilons{E1: 0.05, E2: 0.05})
+	} else {
+		series, err = figures.Figure1(grid)
+	}
+	if err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		w := os.Stdout
+		if *csvPath != "-" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := figures.WriteCSV(w, series); err != nil {
+			return err
+		}
+	}
+	if !*noplot {
+		plot, err := figures.RenderASCII(series, figures.PlotOptions{
+			Width: 72, Height: 24, LogX: true, YMin: 0, YMax: 0.5,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 1: maximum adversarial fraction νmax vs c = 1/(pnΔ)")
+		fmt.Println("(n = 10⁵, Δ = 10¹³ as in the paper; curves are scale-exact)")
+		fmt.Println()
+		fmt.Print(plot)
+	}
+	// Key crossings, as discussed in the paper's introduction.
+	fmt.Println("\nselected values:")
+	fmt.Printf("  %-8s %-18s %-18s %s\n", "c", "neat νmax", "PSS νmax", "attack νmin")
+	for _, i := range []int{0, len(grid) / 4, len(grid) / 2, 3 * len(grid) / 4, len(grid) - 1} {
+		fmt.Printf("  %-8.3g %-18.6g %-18.6g %.6g\n",
+			grid[i], series[0].Y[i], series[1].Y[i], series[2].Y[i])
+	}
+	return nil
+}

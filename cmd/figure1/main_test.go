@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	if err := run([]string{"-points", "11"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig1.csv")
+	if err := run([]string{"-points", "5", "-csv", path, "-noplot"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("csv has %d lines, want header + 5", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "c,") {
+		t.Errorf("header %q", lines[0])
+	}
+}
+
+func TestRunExtended(t *testing.T) {
+	if err := run([]string{"-points", "7", "-extended", "-n", "10000", "-delta", "1000", "-noplot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunBadCSVPath(t *testing.T) {
+	if err := run([]string{"-points", "5", "-csv", "/nonexistent-dir-xyz/f.csv"}); err == nil {
+		t.Error("unwritable csv path accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunSmallDelta(t *testing.T) {
+	if err := run([]string{"-alpha", "0.3", "-delta", "2", "-walk", "10000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoWalkNoConcat(t *testing.T) {
+	if err := run([]string{"-alpha", "0.2", "-delta", "5", "-walk", "0", "-concat=false"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConcatTooLarge(t *testing.T) {
+	// Δ=30 would materialize 3^31 states: must error, not OOM.
+	if err := run([]string{"-alpha", "0.2", "-delta", "30", "-walk", "0"}); err == nil {
+		t.Error("state-space explosion accepted")
+	}
+}
+
+func TestRunInvalidAlpha(t *testing.T) {
+	if err := run([]string{"-alpha", "1.5", "-delta", "2"}); err == nil {
+		t.Error("α=1.5 accepted")
+	}
+}
+
+func TestRunExplicitAlpha1(t *testing.T) {
+	if err := run([]string{"-alpha", "0.3", "-delta", "1", "-alpha1", "0.25", "-walk", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}

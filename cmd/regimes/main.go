@@ -1,0 +1,60 @@
+// Command regimes prints the Remark-1 regime table: the (δ₁, δ₂) pairs of
+// the paper, the ν ranges they cover (Inequality 12), and the
+// multiplicative slack they impose on 2µ/ln(µ/ν) (Inequality 13).
+//
+// Usage:
+//
+//	regimes [-delta 1e13]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neatbound/internal/bounds"
+	"neatbound/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "regimes:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("regimes", flag.ContinueOnError)
+	delta := fs.Float64("delta", 1e13, "delay bound Δ (the paper uses 10¹³)")
+	nu := fs.Float64("nu", 0.3, "sample ν at which to evaluate the regime bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	out, err := figures.Remark1Text(*delta)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	neat, err := bounds.NeatBoundC(*nu)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nat ν = %g: neat bound 2µ/ln(µ/ν) = %.6g\n", *nu, neat)
+	for _, r := range bounds.PaperRegimes {
+		lo, hi, err := r.NuRange(*delta)
+		if err != nil {
+			return err
+		}
+		if *nu < lo || *nu > hi {
+			fmt.Printf("  regime (δ₁=%.3g, δ₂=%.3g): ν outside covered range\n", r.D1, r.D2)
+			continue
+		}
+		minC, err := r.RegimeMinC(*nu, *delta, 1e-6)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  regime (δ₁=%.3g, δ₂=%.3g): c ≥ %.8g suffices (excess over neat: %.3g)\n",
+			r.D1, r.D2, minC, minC/neat-1)
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomDelta(t *testing.T) {
+	if err := run([]string{"-delta", "1e6", "-nu", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNuOutsideRegime(t *testing.T) {
+	// A ν below the regime's lower bound still renders (with a note).
+	if err := run([]string{"-delta", "1e13", "-nu", "1e-70"}); err == nil {
+		t.Skip("ν outside (0,½) handled by NeatBoundC error — acceptable either way")
+	}
+}
+
+func TestRunInvalidDelta(t *testing.T) {
+	if err := run([]string{"-delta", "0.5"}); err == nil {
+		t.Error("Δ<1 accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickToFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the experiment suite")
+	}
+	path := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-quick", "-rounds", "5000", "-replicates", "2", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "## Figure 1") {
+		t.Error("report missing Figure 1 section")
+	}
+	if !strings.Contains(string(data), "## S7") {
+		t.Error("report missing S7 section")
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run([]string{"-quick", "-o", "/no-such-dir-xyz/report.md"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunTooFewRounds(t *testing.T) {
+	if err := run([]string{"-rounds", "10"}); err == nil {
+		t.Error("tiny rounds accepted")
+	}
+}

@@ -1,0 +1,118 @@
+// Command sweep runs a (ν × c) grid of Δ-delay protocol simulations in
+// parallel and prints, per cell, the consistency outcome and the Lemma-1
+// ledger — the empirical counterpart of Figure 1's curves.
+//
+// Usage:
+//
+//	sweep -n 40 -delta 8 -nu 0.2,0.3,0.45 -c 0.5,1,2,5,25 -rounds 20000 -adversary private
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"neatbound"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	n := fs.Int("n", 40, "number of miners")
+	delta := fs.Int("delta", 8, "delay bound Δ")
+	nuList := fs.String("nu", "0.2,0.3,0.45", "comma-separated ν values")
+	cList := fs.String("c", "0.5,1,2,5,25", "comma-separated c values")
+	rounds := fs.Int("rounds", 20000, "rounds per cell")
+	seed := fs.Uint64("seed", 1, "base seed")
+	tee := fs.Int("T", 4, "consistency chop parameter")
+	advName := fs.String("adversary", "private", "strategy: passive|max-delay|private|balance|selfish")
+	forkDepth := fs.Int("fork-depth", 4, "private adversary's target fork depth")
+	workers := fs.Int("workers", 4, "parallel workers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nus, err := parseFloats(*nuList)
+	if err != nil {
+		return err
+	}
+	cs, err := parseFloats(*cList)
+	if err != nil {
+		return err
+	}
+	// Validate the strategy name up front so the per-cell factory below
+	// cannot fail.
+	if _, err := newAdversary(*advName, *forkDepth); err != nil {
+		return err
+	}
+	cells, err := neatbound.Sweep(neatbound.SweepConfig{
+		N: *n, Delta: *delta,
+		NuValues: nus, CValues: cs,
+		Rounds: *rounds, Seed: *seed, T: *tee, Workers: *workers,
+		NewAdversary: func() neatbound.Adversary {
+			adv, err := newAdversary(*advName, *forkDepth)
+			if err != nil {
+				panic(err) // validated below before Sweep runs
+			}
+			return adv
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep: n=%d Δ=%d rounds=%d adversary=%s T=%d\n\n", *n, *delta, *rounds, *advName, *tee)
+	fmt.Printf("%-7s %-8s %-9s %-8s %-11s %-11s %-8s %s\n",
+		"nu", "c", "neat-ok", "viols", "C(conv)", "A(adv)", "margin", "max-fork")
+	for _, cell := range cells {
+		if cell.Err != nil {
+			fmt.Printf("%-7.3g %-8.3g infeasible: %v\n", cell.Nu, cell.C, cell.Err)
+			continue
+		}
+		neat, err := neatbound.NeatBoundC(cell.Nu)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-7.3g %-8.3g %-9v %-8d %-11d %-11d %-8d %d\n",
+			cell.Nu, cell.C, cell.C > neat, cell.Violations,
+			cell.Ledger.Convergence, cell.Ledger.Adversary,
+			cell.Ledger.Margin(), cell.MaxForkDepth)
+	}
+	return nil
+}
+
+func newAdversary(name string, forkDepth int) (neatbound.Adversary, error) {
+	switch name {
+	case "passive":
+		return neatbound.NewPassiveAdversary(), nil
+	case "max-delay":
+		return neatbound.NewMaxDelayAdversary(), nil
+	case "private":
+		return neatbound.NewPrivateMiningAdversary(forkDepth), nil
+	case "balance":
+		return neatbound.NewBalanceAdversary(), nil
+	case "selfish":
+		return neatbound.NewSelfishAdversary(), nil
+	default:
+		return nil, fmt.Errorf("unknown adversary %q", name)
+	}
+}

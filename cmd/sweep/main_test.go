@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.1, 0.2 ,0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.1 || got[2] != 0.3 {
+		t.Errorf("parsed %v", got)
+	}
+	if _, err := parseFloats("1,x,3"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestRunSmallGrid(t *testing.T) {
+	if err := run([]string{
+		"-n", "20", "-delta", "2",
+		"-nu", "0.25", "-c", "2,10",
+		"-rounds", "1000", "-adversary", "max-delay",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInfeasibleCellPrinted(t *testing.T) {
+	// Infeasible cells are reported inline, not fatal.
+	if err := run([]string{
+		"-n", "4", "-delta", "1",
+		"-nu", "0.3", "-c", "0.01",
+		"-rounds", "100", "-adversary", "passive",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownAdversary(t *testing.T) {
+	if err := run([]string{"-adversary", "bogus", "-rounds", "100"}); err == nil {
+		t.Error("unknown adversary accepted")
+	}
+}
+
+func TestRunBadNuList(t *testing.T) {
+	if err := run([]string{"-nu", "abc", "-rounds", "100"}); err == nil {
+		t.Error("bad ν list accepted")
+	}
+}
+
+func TestRunBadCList(t *testing.T) {
+	if err := run([]string{"-c", "1,,2", "-rounds", "100"}); err == nil {
+		t.Error("bad c list accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Command tablei prints the paper's Table-I quantities (c, α, ᾱ, α₁, …)
+// for a parameterization given either as hardness p or as the ratio c.
+//
+// Usage:
+//
+//	tablei -n 100000 -delta 1000 -nu 0.3 -c 2
+//	tablei -n 100000 -delta 1000 -nu 0.3 -p 5e-9
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"neatbound/internal/figures"
+	"neatbound/internal/params"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tablei:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tablei", flag.ContinueOnError)
+	n := fs.Int("n", 100000, "number of miners")
+	delta := fs.Int("delta", 1000, "maximum adversarial delay Δ (rounds)")
+	nu := fs.Float64("nu", 0.3, "adversarial power fraction ν ∈ (0, ½)")
+	c := fs.Float64("c", 0, "expected Δ-delays per block, c = 1/(pnΔ)")
+	p := fs.Float64("p", 0, "proof-of-work hardness (alternative to -c)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pr params.Params
+	switch {
+	case *c > 0 && *p > 0:
+		return errors.New("give either -c or -p, not both")
+	case *c > 0:
+		var err error
+		if pr, err = params.FromC(*n, *delta, *nu, *c); err != nil {
+			return err
+		}
+	case *p > 0:
+		pr = params.Params{N: *n, P: *p, Delta: *delta, Nu: *nu}
+		if err := pr.Validate(); err != nil {
+			return err
+		}
+	default:
+		return errors.New("one of -c or -p is required")
+	}
+	out, err := figures.TableIText(pr)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	fmt.Printf("  ᾱ^{2Δ}·α₁ (convergence-opportunity rate, Eq. 44) = %.6g\n", pr.ConvergenceOpportunityRate())
+	fmt.Printf("  p·ν·n     (adversary block rate, Eq. 27)         = %.6g\n", pr.AdversaryBlockRate())
+	return nil
+}

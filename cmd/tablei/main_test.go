@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunWithC(t *testing.T) {
+	if err := run([]string{"-n", "1000", "-delta", "10", "-nu", "0.3", "-c", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithP(t *testing.T) {
+	if err := run([]string{"-n", "1000", "-delta", "10", "-nu", "0.3", "-p", "1e-5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBothCAndP(t *testing.T) {
+	if err := run([]string{"-c", "2", "-p", "1e-5"}); err == nil {
+		t.Error("both -c and -p accepted")
+	}
+}
+
+func TestRunRequiresOne(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("neither -c nor -p rejected")
+	}
+}
+
+func TestRunInvalidNu(t *testing.T) {
+	if err := run([]string{"-nu", "0.7", "-c", "2"}); err == nil {
+		t.Error("ν=0.7 accepted")
+	}
+}
+
+func TestRunInvalidP(t *testing.T) {
+	if err := run([]string{"-p", "2"}); err == nil {
+		t.Error("p=2 accepted")
+	}
+}

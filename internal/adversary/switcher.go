@@ -1,0 +1,65 @@
+package adversary
+
+import (
+	"fmt"
+
+	"neatbound/internal/engine"
+	"neatbound/internal/network"
+)
+
+// Switcher rotates between complete strategies on a fixed round period —
+// an adaptive attacker that, e.g., balances for a while, then goes
+// private, then rushes. The model grants the adversary full adaptivity,
+// so any schedule over the primitive strategies is admissible; the
+// consistency bound must survive all of them.
+type Switcher struct {
+	// Strategies is the rotation, in order. Each strategy keeps its own
+	// private state across its activations.
+	Strategies []engine.Adversary
+	// Period is the number of rounds each strategy stays active.
+	Period int
+	// Activations counts strategy switches observed (diagnostics).
+	Activations int
+
+	lastIdx int
+}
+
+// NewSwitcher validates and builds a rotation.
+func NewSwitcher(period int, strategies ...engine.Adversary) (*Switcher, error) {
+	if period < 1 {
+		return nil, fmt.Errorf("adversary: switch period %d must be ≥ 1", period)
+	}
+	if len(strategies) == 0 {
+		return nil, fmt.Errorf("adversary: switcher needs at least one strategy")
+	}
+	for i, s := range strategies {
+		if s == nil {
+			return nil, fmt.Errorf("adversary: strategy %d is nil", i)
+		}
+	}
+	return &Switcher{Strategies: strategies, Period: period, lastIdx: -1}, nil
+}
+
+// active returns the strategy for the given round (1-based).
+func (a *Switcher) active(round int) engine.Adversary {
+	idx := ((round - 1) / a.Period) % len(a.Strategies)
+	if idx != a.lastIdx {
+		a.lastIdx = idx
+		a.Activations++
+	}
+	return a.Strategies[idx]
+}
+
+// Name implements engine.Adversary.
+func (a *Switcher) Name() string { return "switcher" }
+
+// HonestDelayPolicy implements engine.Adversary by delegating to the
+// active strategy.
+func (a *Switcher) HonestDelayPolicy(ctx *engine.Context) network.DelayPolicy {
+	return a.active(ctx.Round()).HonestDelayPolicy(ctx)
+}
+
+// Mine implements engine.Adversary by delegating to the active strategy.
+func (a *Switcher) Mine(ctx *engine.Context, mined int) {
+	a.active(ctx.Round()).Mine(ctx, mined)
+}

@@ -1,0 +1,105 @@
+package adversary
+
+import (
+	"testing"
+
+	"neatbound/internal/engine"
+	"neatbound/internal/params"
+)
+
+func TestNewSwitcherValidation(t *testing.T) {
+	if _, err := NewSwitcher(0, MaxDelay{}); err == nil {
+		t.Error("period 0 accepted")
+	}
+	if _, err := NewSwitcher(10); err == nil {
+		t.Error("empty rotation accepted")
+	}
+	if _, err := NewSwitcher(10, MaxDelay{}, nil); err == nil {
+		t.Error("nil strategy accepted")
+	}
+	sw, err := NewSwitcher(10, MaxDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Name() != "switcher" {
+		t.Errorf("name %q", sw.Name())
+	}
+}
+
+func TestSwitcherRotation(t *testing.T) {
+	sw, err := NewSwitcher(3, MaxDelay{}, &Selfish{}, &Balance{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds 1–3 → 0, 4–6 → 1, 7–9 → 2, 10–12 → 0 again.
+	cases := []struct{ round, idx int }{
+		{1, 0}, {3, 0}, {4, 1}, {6, 1}, {7, 2}, {9, 2}, {10, 0}, {19, 0},
+	}
+	for _, c := range cases {
+		got := sw.active(c.round)
+		if got != sw.Strategies[c.idx] {
+			t.Errorf("round %d: active %s, want index %d", c.round, got.Name(), c.idx)
+		}
+	}
+	if sw.Activations < 4 {
+		t.Errorf("activations = %d", sw.Activations)
+	}
+}
+
+func TestSwitcherFullRun(t *testing.T) {
+	pr := params.Params{N: 40, P: 0.004, Delta: 4, Nu: 0.4}
+	priv := &PrivateMining{MinForkDepth: 4} // deeper than the T=3 chop below
+	selfish := &Selfish{}
+	sw, err := NewSwitcher(500, MaxDelay{}, priv, selfish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := run(t, pr, 15000, 21, sw, 3, 200)
+	if res.AdversaryBlocks == 0 {
+		t.Fatal("no adversarial blocks")
+	}
+	// Every strategy phase ran: 15000/500 = 30 activations (10 cycles).
+	if sw.Activations < 25 {
+		t.Errorf("activations = %d, want ≈30", sw.Activations)
+	}
+	// The rotation preserves each strategy's internal state across
+	// activations: both attacking phases must land blows. (Checker-level
+	// violations are NOT asserted here: the private miner publishes the
+	// instant the fork hits its target depth, so the doomed branch sits at
+	// violating depth for only a couple of rounds — far shorter than any
+	// practical snapshot interval. The dedicated private-mining tests
+	// cover violation detection with longer runs.)
+	if priv.Published == 0 {
+		t.Error("private phases never published a deep fork")
+	}
+	if priv.DeepestFork < 4 {
+		t.Errorf("deepest private fork %d < target 4", priv.DeepestFork)
+	}
+	if selfish.Overrides == 0 {
+		t.Error("selfish phases never overrode the public chain")
+	}
+}
+
+func TestSwitcherSinglePeriodBehavesLikeStrategy(t *testing.T) {
+	// A one-strategy rotation must reproduce that strategy exactly.
+	pr := params.Params{N: 20, P: 0.005, Delta: 2, Nu: 0.25}
+	direct, _ := run(t, pr, 3000, 33, MaxDelay{}, 5, 300)
+	sw, err := NewSwitcher(100, MaxDelay{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, _ := run(t, pr, 3000, 33, sw, 5, 300)
+	if direct.HonestBlocks != wrapped.HonestBlocks ||
+		direct.AdversaryBlocks != wrapped.AdversaryBlocks {
+		t.Errorf("wrapped run diverged: %d/%d vs %d/%d blocks",
+			wrapped.HonestBlocks, wrapped.AdversaryBlocks,
+			direct.HonestBlocks, direct.AdversaryBlocks)
+	}
+	for i := range direct.Records {
+		if direct.Records[i] != wrapped.Records[i] {
+			t.Fatalf("records diverge at round %d", i+1)
+		}
+	}
+}
+
+var _ engine.Adversary = (*Switcher)(nil)

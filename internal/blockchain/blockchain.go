@@ -1,0 +1,303 @@
+// Package blockchain provides the chain substrate of Nakamoto's protocol
+// as modeled in Section III of the paper: blocks are abstract records
+// carrying a message, every player maintains a local chain C, and honest
+// players adopt the longest chain they have seen. The package stores all
+// mined blocks in a Tree (the global block DAG is a tree because every
+// block names one parent) and offers the prefix predicates that the
+// consistency property (Definition 1) is stated in.
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockID identifies a block. IDs are assigned by the mining substrate;
+// the genesis block has ID GenesisID.
+type BlockID uint64
+
+// GenesisID is the ID of the unique genesis block present in every Tree.
+const GenesisID BlockID = 0
+
+// Block is an abstract record in the blockchain. Height and parent links
+// are validated by Tree.Add.
+type Block struct {
+	// ID uniquely identifies the block.
+	ID BlockID
+	// Parent is the block this one extends.
+	Parent BlockID
+	// Height is the distance from genesis (genesis has height 0).
+	Height int
+	// Round is the protocol round in which the block was mined.
+	Round int
+	// Miner is the index of the mining player, or -1 for genesis.
+	Miner int
+	// Honest records whether the miner was honest when the block was
+	// mined. It feeds the chain-quality metric.
+	Honest bool
+	// Payload is the environment-supplied message (transactions).
+	Payload string
+}
+
+// Common errors returned by Tree operations.
+var (
+	ErrUnknownParent = errors.New("blockchain: parent block not in tree")
+	ErrDuplicateID   = errors.New("blockchain: block ID already present")
+	ErrUnknownBlock  = errors.New("blockchain: block not in tree")
+)
+
+// Tree is an append-only store of all blocks ever mined, rooted at
+// genesis. It is not safe for concurrent mutation; the engine serializes
+// writes per round.
+type Tree struct {
+	blocks   map[BlockID]*Block
+	children map[BlockID][]BlockID
+	// best is the highest block (ties keep the earlier arrival), updated
+	// incrementally on Add so Best is O(1).
+	best BlockID
+}
+
+// NewTree returns a Tree containing only the genesis block.
+func NewTree() *Tree {
+	g := &Block{ID: GenesisID, Parent: GenesisID, Height: 0, Round: 0, Miner: -1, Honest: true}
+	return &Tree{
+		blocks:   map[BlockID]*Block{GenesisID: g},
+		children: map[BlockID][]BlockID{},
+		best:     GenesisID,
+	}
+}
+
+// Len returns the number of blocks including genesis.
+func (t *Tree) Len() int { return len(t.blocks) }
+
+// Get returns the block with the given ID.
+func (t *Tree) Get(id BlockID) (*Block, bool) {
+	b, ok := t.blocks[id]
+	return b, ok
+}
+
+// Add inserts a block. The parent must exist, the ID must be new and
+// non-genesis, and the height must be parent height + 1 (it is filled in
+// when zero).
+func (t *Tree) Add(b *Block) error {
+	if b.ID == GenesisID {
+		return fmt.Errorf("%w: cannot re-add genesis", ErrDuplicateID)
+	}
+	if _, dup := t.blocks[b.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, b.ID)
+	}
+	parent, ok := t.blocks[b.Parent]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownParent, b.Parent)
+	}
+	if b.Height == 0 {
+		b.Height = parent.Height + 1
+	} else if b.Height != parent.Height+1 {
+		return fmt.Errorf("blockchain: block %d height %d, parent height %d", b.ID, b.Height, parent.Height)
+	}
+	t.blocks[b.ID] = b
+	t.children[b.Parent] = append(t.children[b.Parent], b.ID)
+	if b.Height > t.blocks[t.best].Height {
+		t.best = b.ID
+	}
+	return nil
+}
+
+// Best returns the highest block in the tree in O(1) (first-added wins
+// ties). It is the chain an omniscient longest-chain miner extends.
+func (t *Tree) Best() BlockID { return t.best }
+
+// Height returns the height of the block, or an error if unknown.
+func (t *Tree) Height(id BlockID) (int, error) {
+	b, ok := t.blocks[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
+	}
+	return b.Height, nil
+}
+
+// Chain returns the block IDs from genesis to tip inclusive.
+func (t *Tree) Chain(tip BlockID) ([]BlockID, error) {
+	b, ok := t.blocks[tip]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, tip)
+	}
+	out := make([]BlockID, b.Height+1)
+	for {
+		out[b.Height] = b.ID
+		if b.ID == GenesisID {
+			return out, nil
+		}
+		b = t.blocks[b.Parent]
+	}
+}
+
+// AncestorAt returns the ancestor of tip at the given height (genesis is
+// height 0). It errors when height exceeds tip's height.
+func (t *Tree) AncestorAt(tip BlockID, height int) (BlockID, error) {
+	b, ok := t.blocks[tip]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownBlock, tip)
+	}
+	if height < 0 || height > b.Height {
+		return 0, fmt.Errorf("blockchain: height %d outside [0, %d]", height, b.Height)
+	}
+	for b.Height > height {
+		b = t.blocks[b.Parent]
+	}
+	return b.ID, nil
+}
+
+// IsAncestor reports whether a lies on the path from genesis to b
+// (a block is an ancestor of itself).
+func (t *Tree) IsAncestor(a, b BlockID) (bool, error) {
+	ba, ok := t.blocks[a]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, a)
+	}
+	bb, ok := t.blocks[b]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, b)
+	}
+	if ba.Height > bb.Height {
+		return false, nil
+	}
+	anc, err := t.AncestorAt(b, ba.Height)
+	if err != nil {
+		return false, err
+	}
+	return anc == a, nil
+}
+
+// CommonAncestor returns the deepest block that is an ancestor of both a
+// and b.
+func (t *Tree) CommonAncestor(a, b BlockID) (BlockID, error) {
+	ba, ok := t.blocks[a]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownBlock, a)
+	}
+	bb, ok := t.blocks[b]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownBlock, b)
+	}
+	for ba.Height > bb.Height {
+		ba = t.blocks[ba.Parent]
+	}
+	for bb.Height > ba.Height {
+		bb = t.blocks[bb.Parent]
+	}
+	for ba.ID != bb.ID {
+		ba = t.blocks[ba.Parent]
+		bb = t.blocks[bb.Parent]
+	}
+	return ba.ID, nil
+}
+
+// PrefixHolds reports whether all but the last chop blocks of the chain
+// ending at tipA form a prefix of the chain ending at tipB — the core
+// predicate of Definition 1 with chop = T. A chop larger than the chain
+// length makes the predicate vacuously true.
+func (t *Tree) PrefixHolds(tipA, tipB BlockID, chop int) (bool, error) {
+	ba, ok := t.blocks[tipA]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, tipA)
+	}
+	cut := ba.Height - chop
+	if cut <= 0 {
+		return true, nil // only genesis (or nothing) remains after chopping
+	}
+	anchor, err := t.AncestorAt(tipA, cut)
+	if err != nil {
+		return false, err
+	}
+	return t.IsAncestor(anchor, tipB)
+}
+
+// Tips returns all blocks with no children, sorted by (height, ID) for
+// determinism.
+func (t *Tree) Tips() []BlockID {
+	var tips []BlockID
+	for id := range t.blocks {
+		if len(t.children[id]) == 0 {
+			tips = append(tips, id)
+		}
+	}
+	if len(tips) == 0 {
+		tips = []BlockID{GenesisID} // genesis-only tree: genesis has no children
+	}
+	sortIDsByHeight(t, tips)
+	return tips
+}
+
+// Children returns the direct children of id (nil when none).
+func (t *Tree) Children(id BlockID) []BlockID {
+	kids := t.children[id]
+	out := make([]BlockID, len(kids))
+	copy(out, kids)
+	return out
+}
+
+// MaxHeight returns the height of the tallest block in O(1).
+func (t *Tree) MaxHeight() int {
+	return t.blocks[t.best].Height
+}
+
+// Adopt implements the longest-chain rule for honest players: it returns
+// candidate when it is strictly higher than current, else current. Ties
+// keep the current chain, matching the model in which an honest player's
+// longest chain grows by at most one block per round.
+func (t *Tree) Adopt(current, candidate BlockID) (BlockID, error) {
+	hc, err := t.Height(current)
+	if err != nil {
+		return 0, err
+	}
+	hn, err := t.Height(candidate)
+	if err != nil {
+		return 0, err
+	}
+	if hn > hc {
+		return candidate, nil
+	}
+	return current, nil
+}
+
+// sortIDsByHeight orders ids by (height, ID) ascending.
+func sortIDsByHeight(t *Tree, ids []BlockID) {
+	// Insertion sort: tip counts are tiny.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			hj := t.blocks[ids[j]].Height
+			hp := t.blocks[ids[j-1]].Height
+			if hj < hp || (hj == hp && ids[j] < ids[j-1]) {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// ChopLast returns chain with its last chop elements removed. A chop
+// larger than the chain returns an empty slice. The result aliases chain.
+func ChopLast(chain []BlockID, chop int) []BlockID {
+	if chop >= len(chain) {
+		return chain[:0]
+	}
+	if chop < 0 {
+		chop = 0
+	}
+	return chain[:len(chain)-chop]
+}
+
+// HasPrefix reports whether prefix is a prefix of chain element-wise.
+func HasPrefix(chain, prefix []BlockID) bool {
+	if len(prefix) > len(chain) {
+		return false
+	}
+	for i, id := range prefix {
+		if chain[i] != id {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"neatbound/internal/params"
+)
+
+// LemmaCheck records the numeric evaluation of one step of the paper's
+// implication chain (52)–(59) (Lemmas 2–8 plus Proposition 2 and the
+// end-to-end Theorem-1 implication).
+type LemmaCheck struct {
+	// Name identifies the lemma/step.
+	Name string
+	// Description states the inequality being checked.
+	Description string
+	// LHS and RHS are the evaluated sides (orientation given in
+	// Description).
+	LHS, RHS float64
+	// Holds reports whether the inequality is satisfied.
+	Holds bool
+}
+
+// AllHold reports whether every check passed.
+func AllHold(checks []LemmaCheck) bool {
+	for _, c := range checks {
+		if !c.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstFailure returns the first failing check, or nil.
+func FirstFailure(checks []LemmaCheck) *LemmaCheck {
+	for i := range checks {
+		if !checks[i].Holds {
+			return &checks[i]
+		}
+	}
+	return nil
+}
+
+// VerifyLemmaChain numerically evaluates every inequality the proof of
+// Theorem 3 composes — the chain (52)–(59) — at the given parameterization
+// and slack constants, with δ₄ and δ₁ set by Eqs. (60)–(61). For any pr
+// satisfying Inequalities (50) and (51), every check must pass; this is
+// experiment S6.
+//
+// All computations happen in log/expm1 space so the checks remain
+// meaningful at the paper's scale (Δ = 10¹³, where the raw quantities
+// differ from 1 by ~10⁻¹³).
+func VerifyLemmaChain(pr params.Params, eps Epsilons) ([]LemmaCheck, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, fmt.Errorf("bounds: %w", err)
+	}
+	if err := eps.Validate(); err != nil {
+		return nil, err
+	}
+	nu := pr.Nu
+	mu := pr.Mu()
+	l := LogMuOverNu(nu)
+	d2 := 2 * float64(pr.Delta)
+	mn := pr.HonestN()
+	pmn := pr.P * mn
+
+	d4, err := Delta4(nu, eps)
+	if err != nil {
+		return nil, err
+	}
+	d1, err := Delta1(nu, eps)
+	if err != nil {
+		return nil, err
+	}
+
+	var checks []LemmaCheck
+	add := func(name, desc string, lhs, rhs float64, holds bool) {
+		checks = append(checks, LemmaCheck{Name: name, Description: desc, LHS: lhs, RHS: rhs, Holds: holds})
+	}
+
+	// Constant positivity (proof of Lemma 3).
+	add("delta4-positive", "δ₄ > 0 (Eq. 60)", d4, 0, d4 > 0)
+	add("delta1-positive", "δ₁ > 0 (Eq. 61 via Eq. 63)", d1, 0, d1 > 0)
+
+	// Inequality (68): δ₄ > ε₁·ln(µ/ν)/(1+(1−ε₁)ln(µ/ν)).
+	lb68 := eps.E1 * l / (1 + (1-eps.E1)*l)
+	add("eq68", "δ₄ > ε₁ln(µ/ν)/(1+(1−ε₁)ln(µ/ν))", d4, lb68, d4 > lb68)
+
+	// Inequality (73): 0 < δ₄ < ln(µ/ν).
+	add("eq73", "δ₄ < ln(µ/ν)", d4, l, d4 < l)
+
+	// Lemma 2 ingredient: α₁ ≥ pµn(1−pµn), valid under 0 < pµn < 1.
+	if pmn <= 0 || pmn >= 1 {
+		return nil, fmt.Errorf("bounds: pµn = %g outside (0, 1); Lemma 2 precondition fails", pmn)
+	}
+	alpha1 := pr.Alpha1()
+	lb2 := pmn * (1 - pmn)
+	add("lemma2-alpha1", "α₁ ≥ pµn(1−pµn) (Eq. 100)", alpha1, lb2, alpha1 >= lb2*(1-1e-12))
+
+	// Lemma 3, Inequality (70): ((1+δ₁)/(1−pµn))^{1/(2Δ)} ≤ 1+δ₄/(2Δ).
+	// Compare the excesses over 1 to keep precision at huge Δ.
+	lhs70 := math.Expm1((math.Log1p(d1) - math.Log1p(-pmn)) / d2)
+	rhs70 := d4 / d2
+	add("lemma3-eq70", "((1+δ₁)/(1−pµn))^{1/(2Δ)} − 1 ≤ δ₄/(2Δ)", lhs70, rhs70, lhs70 <= rhs70*(1+1e-9))
+
+	// Proposition 2: 1 − (1+δ₄/(2Δ))(ν/µ)^{1/(2Δ)} > 0.
+	// (1+δ₄/(2Δ))(ν/µ)^{1/(2Δ)} = exp(log1p(δ₄/(2Δ)) − l/(2Δ)).
+	gap := -(math.Log1p(d4/d2) - l/d2) // positive iff Proposition 2 holds
+	prop2 := -math.Expm1(-gap)
+	add("prop2", "1 − (1+δ₄/(2Δ))(ν/µ)^{1/(2Δ)} > 0", prop2, 0, prop2 > 0)
+
+	// Lemma 5, Inequality (76):
+	//   µ/(Δ·A) ≥ 1/(nΔ·B),
+	// with A = 1−(1+δ₄/(2Δ))(ν/µ)^{1/(2Δ)} and B = 1−(1−A)^{1/(µn)}.
+	a := prop2
+	b := -math.Expm1(math.Log1p(-a) / mn)
+	lhs76 := mu / (float64(pr.Delta) * a)
+	rhs76 := 1 / (float64(pr.N) * float64(pr.Delta) * b)
+	add("lemma5-eq76", "µ/(ΔA) ≥ 1/(nΔB) with B = 1−(1−A)^{1/(µn)}", lhs76, rhs76, lhs76 >= rhs76*(1-1e-9))
+
+	// Lemma 6, Inequality (79):
+	//   (1+δ₄/(ln(µ/ν)−δ₄)) / (1−(ν/µ)^{1/(2Δ)}) > 1/A.
+	oneMinusRatio := -math.Expm1(-l / d2) // 1−(ν/µ)^{1/(2Δ)}
+	lhs79 := (1 + d4/(l-d4)) / oneMinusRatio
+	rhs79 := 1 / a
+	add("lemma6-eq79", "(1+δ₄/(ln(µ/ν)−δ₄))/(1−(ν/µ)^{1/(2Δ)}) > 1/A", lhs79, rhs79, lhs79 > rhs79)
+
+	// Lemma 7, Inequality (82): 2/l ≤ 1/(Δ(1−(ν/µ)^{1/(2Δ)})) ≤ 2/l + 1/Δ.
+	mid82 := 1 / (float64(pr.Delta) * oneMinusRatio)
+	add("lemma7-lower", "2/ln(µ/ν) ≤ 1/(Δ(1−(ν/µ)^{1/(2Δ)}))", 2/l, mid82, 2/l <= mid82*(1+1e-12))
+	add("lemma7-upper", "1/(Δ(1−(ν/µ)^{1/(2Δ)})) ≤ 2/ln(µ/ν) + 1/Δ", mid82, 2/l+1/float64(pr.Delta), mid82 <= (2/l+1/float64(pr.Delta))*(1+1e-12))
+
+	// Lemma 8, Inequality (85): 1 + δ₄/(ln(µ/ν)−δ₄) < (1+ε₂)/(1−ε₁).
+	lhs85 := 1 + d4/(l-d4)
+	rhs85 := (1 + eps.E2) / (1 - eps.E1)
+	add("lemma8-eq85", "1+δ₄/(ln(µ/ν)−δ₄) < (1+ε₂)/(1−ε₁)", lhs85, rhs85, lhs85 < rhs85)
+
+	// End-to-end: if (50) and (51) hold, Theorem 1's Inequality (10) must
+	// hold with δ₁ from Eq. (61).
+	c50, err := Condition50Holds(pr, eps)
+	if err != nil {
+		return nil, err
+	}
+	min51, err := Condition51MinC(nu, float64(pr.Delta), eps)
+	if err != nil {
+		return nil, err
+	}
+	c51 := pr.C() >= min51
+	if c50 && c51 {
+		t1, err := Theorem1Holds(pr, d1)
+		if err != nil {
+			return nil, err
+		}
+		add("theorem3-implies-theorem1",
+			"(50) ∧ (51) ⇒ ᾱ^{2Δ}α₁ ≥ (1+δ₁)pνn (chain 52–59)",
+			Theorem1LogLHS(pr),
+			math.Log1p(d1)+math.Log(pr.P)+math.Log(pr.AdversaryN()),
+			t1)
+	} else {
+		add("preconditions",
+			fmt.Sprintf("Inequalities (50) and (51) hold (50: %v, 51: %v) — chain not applicable", c50, c51),
+			boolToFloat(c50), boolToFloat(c51), true)
+	}
+	return checks, nil
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,153 @@
+package bounds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"neatbound/internal/params"
+)
+
+// chainParams builds a parameterization satisfying (50) and (51) by
+// setting c slightly above Theorem2MinC.
+func chainParams(t *testing.T, n, delta int, nu float64, eps Epsilons, margin float64) params.Params {
+	t.Helper()
+	minC, err := Theorem2MinC(nu, float64(delta), eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params.MustFromC(n, delta, nu, minC*margin)
+}
+
+func TestVerifyLemmaChainHoldsAboveBound(t *testing.T) {
+	eps := Epsilons{E1: 0.1, E2: 0.1}
+	cases := []struct {
+		n, delta int
+		nu       float64
+	}{
+		{1000, 10, 0.25},
+		{100000, 1000, 0.1},
+		{100, 4, 0.45},
+		{100000, 1000000, 0.3},
+	}
+	for _, cse := range cases {
+		pr := chainParams(t, cse.n, cse.delta, cse.nu, eps, 1.001)
+		checks, err := VerifyLemmaChain(pr, eps)
+		if err != nil {
+			t.Fatalf("n=%d Δ=%d ν=%g: %v", cse.n, cse.delta, cse.nu, err)
+		}
+		if !AllHold(checks) {
+			f := FirstFailure(checks)
+			t.Errorf("n=%d Δ=%d ν=%g: %s failed: %s (LHS=%g RHS=%g)",
+				cse.n, cse.delta, cse.nu, f.Name, f.Description, f.LHS, f.RHS)
+		}
+	}
+}
+
+func TestVerifyLemmaChainPaperScale(t *testing.T) {
+	// Δ = 10¹³, n = 10⁵ — Figure 1's scale. The chain must survive the
+	// floating-point regime where ᾱ differs from 1 by ~10⁻¹⁸.
+	eps := Epsilons{E1: 0.05, E2: 0.05}
+	pr := chainParams(t, 100000, int(1e13), 0.3, eps, 1.01)
+	checks, err := VerifyLemmaChain(pr, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AllHold(checks) {
+		f := FirstFailure(checks)
+		t.Errorf("paper scale: %s failed: %s (LHS=%g RHS=%g)", f.Name, f.Description, f.LHS, f.RHS)
+	}
+	// The end-to-end implication must have been exercised, not skipped.
+	found := false
+	for _, c := range checks {
+		if c.Name == "theorem3-implies-theorem1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("preconditions (50)/(51) unexpectedly failed — end-to-end check skipped")
+	}
+}
+
+// TestQuickLemmaChain fuzzes the implication chain across the whole
+// parameter space: whenever (50) and (51) hold, every lemma step and the
+// final Theorem-1 inequality must hold.
+func TestQuickLemmaChain(t *testing.T) {
+	eps := Epsilons{E1: 0.1, E2: 0.1}
+	f := func(nuRaw uint16, dRaw uint16, marginRaw uint8) bool {
+		nu := 0.02 + 0.46*float64(nuRaw)/65535
+		delta := int(dRaw%5000) + 2
+		margin := 1.001 + float64(marginRaw)/64 // c from 1.001× to ~5× MinC
+		minC, err := Theorem2MinC(nu, float64(delta), eps)
+		if err != nil {
+			return false
+		}
+		pr, err := params.FromC(100000, delta, nu, minC*margin)
+		if err != nil {
+			return true // p out of range for this combo — skip
+		}
+		checks, err := VerifyLemmaChain(pr, eps)
+		if err != nil {
+			return false
+		}
+		return AllHold(checks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyLemmaChainBelowBoundSkipsGracefully(t *testing.T) {
+	// Below the bound (ν = 0.45 needs c ≈ 5.5; we give 2), preconditions
+	// fail: the chain reports the "preconditions" sentinel instead of
+	// asserting Theorem 1.
+	eps := Epsilons{E1: 0.1, E2: 0.1}
+	pr := params.MustFromC(1000, 10, 0.45, 2)
+	checks, err := VerifyLemmaChain(pr, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if c.Name == "theorem3-implies-theorem1" {
+			t.Error("end-to-end check asserted despite failing preconditions")
+		}
+	}
+}
+
+func TestVerifyLemmaChainValidation(t *testing.T) {
+	if _, err := VerifyLemmaChain(params.Params{}, DefaultEpsilons); err == nil {
+		t.Error("invalid params accepted")
+	}
+	pr := params.MustFromC(1000, 10, 0.3, 3)
+	if _, err := VerifyLemmaChain(pr, Epsilons{}); err == nil {
+		t.Error("invalid epsilons accepted")
+	}
+}
+
+func TestFirstFailureNilWhenAllHold(t *testing.T) {
+	checks := []LemmaCheck{{Name: "a", Holds: true}, {Name: "b", Holds: true}}
+	if FirstFailure(checks) != nil {
+		t.Error("FirstFailure on passing set")
+	}
+	checks[1].Holds = false
+	if f := FirstFailure(checks); f == nil || f.Name != "b" {
+		t.Error("FirstFailure missed the failing check")
+	}
+	if AllHold(checks) {
+		t.Error("AllHold with a failure")
+	}
+}
+
+func BenchmarkLemmaChain(b *testing.B) {
+	eps := Epsilons{E1: 0.1, E2: 0.1}
+	minC, err := Theorem2MinC(0.3, 1000, eps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := params.MustFromC(100000, 1000, 0.3, minC*1.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyLemmaChain(pr, eps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

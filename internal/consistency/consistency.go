@@ -1,0 +1,277 @@
+// Package consistency implements the paper's consistency property
+// (Definition 1) and its proof-side accounting (Lemma 1):
+//
+//   - Checker verifies, over an executed run, that for any two sampled
+//     rounds r ≤ s and any two honest views, all but the last T blocks of
+//     the chain at r form a prefix of the chain at s — reporting every
+//     violation with its fork depth.
+//
+//   - ConvergenceCounter detects convergence opportunities — the pattern
+//     HN^{≥Δ} ‖ H₁ N^Δ of Section V-A, i.e. a round with exactly one
+//     honest block flanked by ≥Δ and Δ block-free rounds — whose
+//     stationary rate is ᾱ^{2Δ}·α₁ (Eq. 44).
+//
+//   - Accounting tallies C(t₀, t₀+T−1) against A(t₀, t₀+T−1), the
+//     quantities Lemma 1 compares: consistency holds when convergence
+//     opportunities outnumber adversarial blocks.
+package consistency
+
+import (
+	"fmt"
+
+	"neatbound/internal/blockchain"
+	"neatbound/internal/engine"
+	"neatbound/internal/markov"
+)
+
+// ConvergenceCounter incrementally detects convergence opportunities from
+// the per-round honest block counts. Feed every round's count to Observe;
+// it returns true on rounds that complete the HN^{≥Δ}‖H₁N^Δ pattern.
+type ConvergenceCounter struct {
+	delta   int
+	tracker *markov.SuffixTracker
+	// window holds the detailed states of the most recent Δ+1 rounds,
+	// oldest first (window[0] = S_{t−Δ}).
+	window []int
+	count  int
+	rounds int
+}
+
+// NewConvergenceCounter returns a counter for delay bound delta ≥ 1.
+func NewConvergenceCounter(delta int) (*ConvergenceCounter, error) {
+	tr, err := markov.NewSuffixTracker(delta)
+	if err != nil {
+		return nil, fmt.Errorf("consistency: %w", err)
+	}
+	return &ConvergenceCounter{delta: delta, tracker: tr}, nil
+}
+
+// classify maps an honest block count to the Detailed-State-Set class.
+func classify(honestMined int) int {
+	switch {
+	case honestMined <= 0:
+		return markov.DetailedN
+	case honestMined == 1:
+		return markov.DetailedH1
+	default:
+		return markov.DetailedHM
+	}
+}
+
+// Observe consumes the number of honest blocks mined in the next round and
+// reports whether this round completes a convergence opportunity.
+func (c *ConvergenceCounter) Observe(honestMined int) bool {
+	c.rounds++
+	state := classify(honestMined)
+	if len(c.window) < c.delta+1 {
+		c.window = append(c.window, state)
+	} else {
+		// Evict the oldest window entry into the suffix tracker: the
+		// tracker always represents F_{t−Δ−1}.
+		oldest := c.window[0]
+		copy(c.window, c.window[1:])
+		c.window[c.delta] = state
+		c.tracker.Observe(oldest != markov.DetailedN)
+	}
+	if len(c.window) < c.delta+1 || !c.tracker.InLongN() {
+		return false
+	}
+	// Window must read H₁ N^Δ.
+	if c.window[0] != markov.DetailedH1 {
+		return false
+	}
+	for _, s := range c.window[1:] {
+		if s != markov.DetailedN {
+			return false
+		}
+	}
+	c.count++
+	return true
+}
+
+// Count returns the number of convergence opportunities seen so far.
+func (c *ConvergenceCounter) Count() int { return c.count }
+
+// Rounds returns the number of rounds observed.
+func (c *ConvergenceCounter) Rounds() int { return c.rounds }
+
+// Accounting is the Lemma-1 ledger over a window of rounds: consistency
+// follows when Convergence > Adversary with overwhelming probability.
+type Accounting struct {
+	// Rounds is the window length T.
+	Rounds int
+	// Convergence is C(t₀, t₀+T−1), the convergence-opportunity count.
+	Convergence int
+	// Adversary is A(t₀, t₀+T−1), the adversarial block count.
+	Adversary int
+}
+
+// Margin returns C − A; Lemma 1 requires it positive.
+func (a Accounting) Margin() int { return a.Convergence - a.Adversary }
+
+// Account replays a run's records through a ConvergenceCounter and returns
+// the Lemma-1 ledger for the whole run.
+func Account(records []engine.RoundRecord, delta int) (Accounting, error) {
+	counter, err := NewConvergenceCounter(delta)
+	if err != nil {
+		return Accounting{}, err
+	}
+	adv := 0
+	for _, rec := range records {
+		counter.Observe(rec.HonestMined)
+		adv += rec.AdversaryMined
+	}
+	return Accounting{
+		Rounds:      len(records),
+		Convergence: counter.Count(),
+		Adversary:   adv,
+	}, nil
+}
+
+// Snapshot captures the distinct honest chain tips at one round.
+type Snapshot struct {
+	// Round is when the snapshot was taken.
+	Round int
+	// Tips are the distinct honest views at that round.
+	Tips []blockchain.BlockID
+}
+
+// Violation records one breach of Definition 1: the chain at tip A in
+// round R, chopped by T, is not a prefix of the chain at tip B in round S.
+type Violation struct {
+	// RoundR and RoundS are the two sampled rounds, RoundR ≤ RoundS.
+	RoundR, RoundS int
+	// TipA is an honest view at RoundR; TipB an honest view at RoundS.
+	TipA, TipB blockchain.BlockID
+	// ForkDepth is the number of blocks of chain(TipA) past the deepest
+	// common ancestor with chain(TipB) — how much history diverged.
+	ForkDepth int
+}
+
+// Checker samples honest views during a run and evaluates the Definition-1
+// predicate across all sampled round pairs afterwards. Attach OnRound as
+// the engine's observer, then call Check.
+type Checker struct {
+	// T is Definition 1's chop parameter.
+	T int
+	// Every is the sampling interval in rounds (1 = every round).
+	Every int
+
+	snaps []Snapshot
+}
+
+// NewChecker returns a checker with chop parameter tee, sampling every
+// `every` rounds.
+func NewChecker(tee, every int) (*Checker, error) {
+	if tee < 0 {
+		return nil, fmt.Errorf("consistency: T = %d must be ≥ 0", tee)
+	}
+	if every < 1 {
+		return nil, fmt.Errorf("consistency: sampling interval %d must be ≥ 1", every)
+	}
+	return &Checker{T: tee, Every: every}, nil
+}
+
+// OnRound snapshots the engine's distinct honest tips on sampling rounds.
+// It matches the engine.Config.OnRound signature.
+func (c *Checker) OnRound(e *engine.Engine, rec engine.RoundRecord) {
+	if rec.Round%c.Every != 0 {
+		return
+	}
+	c.snaps = append(c.snaps, Snapshot{Round: rec.Round, Tips: e.DistinctTips()})
+}
+
+// Snapshots returns the samples collected so far.
+func (c *Checker) Snapshots() []Snapshot { return c.snaps }
+
+// Check evaluates the Definition-1 predicate over every sampled pair
+// (r ≤ s) and every tip pair, returning all violations found.
+func (c *Checker) Check(tree *blockchain.Tree) ([]Violation, error) {
+	return c.ViolationsAtChop(tree, c.T)
+}
+
+// ViolationsAtChop evaluates the Definition-1 predicate at an arbitrary
+// chop parameter over the collected snapshots. It supports the S7
+// fork-depth-tail experiment, which scans chop values on one run.
+func (c *Checker) ViolationsAtChop(tree *blockchain.Tree, chop int) ([]Violation, error) {
+	if chop < 0 {
+		return nil, fmt.Errorf("consistency: chop %d must be ≥ 0", chop)
+	}
+	var out []Violation
+	for ri, sr := range c.snaps {
+		for si := ri; si < len(c.snaps); si++ {
+			ss := c.snaps[si]
+			for _, a := range sr.Tips {
+				for _, b := range ss.Tips {
+					if sr.Round == ss.Round && a == b {
+						continue // a view is trivially consistent with itself
+					}
+					ok, err := tree.PrefixHolds(a, b, chop)
+					if err != nil {
+						return nil, fmt.Errorf("consistency: %w", err)
+					}
+					if ok {
+						continue
+					}
+					depth, err := forkDepth(tree, a, b)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, Violation{
+						RoundR: sr.Round, RoundS: ss.Round,
+						TipA: a, TipB: b, ForkDepth: depth,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// forkDepth returns height(a) − height(commonAncestor(a, b)).
+func forkDepth(tree *blockchain.Tree, a, b blockchain.BlockID) (int, error) {
+	anc, err := tree.CommonAncestor(a, b)
+	if err != nil {
+		return 0, err
+	}
+	ha, err := tree.Height(a)
+	if err != nil {
+		return 0, err
+	}
+	hanc, err := tree.Height(anc)
+	if err != nil {
+		return 0, err
+	}
+	return ha - hanc, nil
+}
+
+// MaxForkDepth returns the deepest fork across all sampled pairs — the
+// smallest T for which the run would have been consistent is
+// MaxForkDepth. It is cheaper than Check when only the depth is needed.
+func (c *Checker) MaxForkDepth(tree *blockchain.Tree) (int, error) {
+	max := 0
+	for ri, sr := range c.snaps {
+		for si := ri; si < len(c.snaps); si++ {
+			for _, a := range sr.Tips {
+				for _, b := range c.snaps[si].Tips {
+					// Depth only grows when a is not an ancestor of b.
+					ok, err := tree.PrefixHolds(a, b, max)
+					if err != nil {
+						return 0, err
+					}
+					if ok {
+						continue
+					}
+					d, err := forkDepth(tree, a, b)
+					if err != nil {
+						return 0, err
+					}
+					if d > max {
+						max = d
+					}
+				}
+			}
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,165 @@
+package consistency
+
+import (
+	"testing"
+
+	"neatbound/internal/markov"
+	"neatbound/internal/rng"
+)
+
+// TestCounterMatchesConcatChainExactly cross-validates two independent
+// implementations of the convergence-opportunity detector on the same
+// i.i.d. detailed-state sequence:
+//
+//   - the streaming ConvergenceCounter of this package, and
+//   - the materialized C_F‖P chain of package markov, stepped through its
+//     deterministic NextState transitions and queried with
+//     IsConvergenceState.
+//
+// An arbitrary initial suffix guess synchronizes with the true suffix by
+// the time the lagging tracker has absorbed two H states (the paper's
+// validity proviso), after which every detection must coincide
+// round-for-round.
+func TestCounterMatchesConcatChainExactly(t *testing.T) {
+	const (
+		alphaBar = 0.6
+		alpha1   = 0.3
+		delta    = 2
+		rounds   = 300000
+	)
+	cc, err := markov.NewConcatChain(alphaBar, alpha1, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := NewConvergenceCounter(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tracker below only decides when the comparison becomes valid;
+	// it mirrors the counter's lag of Δ+1 rounds.
+	tracker, err := markov.NewSuffixTracker(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(12345)
+	draw := func() int {
+		u := r.Float64()
+		switch {
+		case u < alphaBar:
+			return markov.DetailedN
+		case u < alphaBar+alpha1:
+			return markov.DetailedH1
+		default:
+			return markov.DetailedHM
+		}
+	}
+	var window []int
+	flat := -1
+	hits := 0
+	for i := 0; i < rounds; i++ {
+		s := draw()
+		honestMined := 0
+		switch s {
+		case markov.DetailedH1:
+			honestMined = 1
+		case markov.DetailedHM:
+			honestMined = 2
+		}
+		counterHit := counter.Observe(honestMined)
+
+		// Chain-side: fill the window first, then step the flat state.
+		if len(window) < delta+1 {
+			window = append(window, s)
+			if len(window) == delta+1 {
+				// Arbitrary suffix guess; it synchronizes once the lagging
+				// tracker has seen two H's.
+				flat, err = cc.ComposeState(cc.Suffix.StateShortH(), window)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if counterHit {
+				t.Fatalf("round %d: counter fired before the window filled", i+1)
+			}
+			continue
+		}
+		oldest := window[0]
+		copy(window, window[1:])
+		window[delta] = s
+		tracker.Observe(oldest != markov.DetailedN)
+		flat, err = cc.NextState(flat, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chainHit := cc.IsConvergenceState(flat)
+
+		if tracker.Valid() {
+			if counterHit != chainHit {
+				t.Fatalf("round %d: counter=%v chain=%v", i+1, counterHit, chainHit)
+			}
+			if counterHit {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no opportunities after validity — test underpowered")
+	}
+	// Rate check against Eq. 44.
+	want := cc.AnalyticConvergenceProb() * rounds
+	if f := float64(hits); f < want*0.9 || f > want*1.1 {
+		t.Errorf("hits %d vs Eq.44 expectation %.0f", hits, want)
+	}
+}
+
+// TestNextStateConsistentWithTransitionMatrix verifies that the
+// deterministic NextState transitions land only on states the stochastic
+// matrix gives positive probability.
+func TestNextStateConsistentWithTransitionMatrix(t *testing.T) {
+	cc, err := markov.NewConcatChain(0.7, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < cc.Len(); idx++ {
+		for s := 0; s <= 2; s++ {
+			next, err := cc.NextState(idx, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p := cc.Chain().Prob(idx, next); p <= 0 {
+				t.Fatalf("NextState(%d, %d) = %d but matrix probability is 0", idx, s, next)
+			}
+		}
+	}
+}
+
+func TestComposeAndNextStateValidation(t *testing.T) {
+	cc, err := markov.NewConcatChain(0.7, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.ComposeState(-1, []int{0, 0}); err == nil {
+		t.Error("bad suffix vertex accepted")
+	}
+	if _, err := cc.ComposeState(0, []int{0}); err == nil {
+		t.Error("short window accepted")
+	}
+	if _, err := cc.ComposeState(0, []int{0, 5}); err == nil {
+		t.Error("bad detailed state accepted")
+	}
+	if _, err := cc.NextState(-1, 0); err == nil {
+		t.Error("bad index accepted")
+	}
+	if _, err := cc.NextState(0, 7); err == nil {
+		t.Error("bad detailed state accepted")
+	}
+	// Round trip: Decode(ComposeState(f, w)) == (f, w).
+	f, win := cc.Decode(cc.ConvergenceStateIndex())
+	idx, err := cc.ComposeState(f, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != cc.ConvergenceStateIndex() {
+		t.Errorf("compose/decode round trip: %d vs %d", idx, cc.ConvergenceStateIndex())
+	}
+}

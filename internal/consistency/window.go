@@ -1,0 +1,93 @@
+package consistency
+
+import (
+	"fmt"
+
+	"neatbound/internal/engine"
+)
+
+// This file implements the windowed form of Lemma 1: the paper's argument
+// requires convergence opportunities to outnumber adversarial blocks in
+// EVERY window of T rounds (with overwhelming probability), not only in
+// aggregate. SlidingWindows evaluates the ledger over all windows so the
+// worst window — the one an adversary would attack — is visible.
+
+// SlidingWindows returns the Lemma-1 ledger for every window of `window`
+// rounds, advancing by stride rounds between windows. Convergence
+// opportunities are attributed to the round that completes the
+// HN^{≥Δ}‖H₁N^Δ pattern.
+func SlidingWindows(records []engine.RoundRecord, delta, window, stride int) ([]Accounting, error) {
+	if window < 1 || window > len(records) {
+		return nil, fmt.Errorf("consistency: window %d outside [1, %d]", window, len(records))
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("consistency: stride %d must be ≥ 1", stride)
+	}
+	counter, err := NewConvergenceCounter(delta)
+	if err != nil {
+		return nil, err
+	}
+	// Per-round indicators, then prefix sums for O(1) window queries.
+	n := len(records)
+	convPrefix := make([]int, n+1)
+	advPrefix := make([]int, n+1)
+	for i, rec := range records {
+		conv := 0
+		if counter.Observe(rec.HonestMined) {
+			conv = 1
+		}
+		convPrefix[i+1] = convPrefix[i] + conv
+		advPrefix[i+1] = advPrefix[i] + rec.AdversaryMined
+	}
+	var out []Accounting
+	for start := 0; start+window <= n; start += stride {
+		end := start + window
+		out = append(out, Accounting{
+			Rounds:      window,
+			Convergence: convPrefix[end] - convPrefix[start],
+			Adversary:   advPrefix[end] - advPrefix[start],
+		})
+	}
+	return out, nil
+}
+
+// WorstWindow returns the ledger with the smallest margin C−A (the window
+// Lemma 1 is tightest on) and its index. It errors on an empty slice.
+func WorstWindow(ledgers []Accounting) (Accounting, int, error) {
+	if len(ledgers) == 0 {
+		return Accounting{}, 0, fmt.Errorf("consistency: no windows")
+	}
+	worst, idx := ledgers[0], 0
+	for i, l := range ledgers[1:] {
+		if l.Margin() < worst.Margin() {
+			worst, idx = l, i+1
+		}
+	}
+	return worst, idx, nil
+}
+
+// PositiveMarginFraction returns the fraction of windows with C > A — the
+// empirical probability Lemma 1 asserts approaches 1.
+func PositiveMarginFraction(ledgers []Accounting) float64 {
+	if len(ledgers) == 0 {
+		return 0
+	}
+	pos := 0
+	for _, l := range ledgers {
+		if l.Margin() > 0 {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(ledgers))
+}
+
+// DepthHistogram buckets violations by fork depth. It feeds the S7
+// fork-depth-tail experiment: frequencies should decay geometrically with
+// base ν/µ.
+func DepthHistogram(viols []Violation) map[int]int {
+	h := make(map[int]int, 8)
+	for _, v := range viols {
+		h[v.ForkDepth]++
+	}
+	return h
+}

@@ -1,0 +1,196 @@
+package consistency
+
+import (
+	"math"
+	"testing"
+
+	"neatbound/internal/engine"
+	"neatbound/internal/params"
+)
+
+// mkRecords builds records from parallel slices of honest/adversary
+// counts.
+func mkRecords(honest, adv []int) []engine.RoundRecord {
+	out := make([]engine.RoundRecord, len(honest))
+	for i := range honest {
+		out[i] = engine.RoundRecord{Round: i + 1, HonestMined: honest[i], AdversaryMined: adv[i]}
+	}
+	return out
+}
+
+func TestSlidingWindowsValidation(t *testing.T) {
+	recs := mkRecords([]int{1, 0, 0}, []int{0, 0, 0})
+	if _, err := SlidingWindows(recs, 2, 0, 1); err == nil {
+		t.Error("window 0 accepted")
+	}
+	if _, err := SlidingWindows(recs, 2, 4, 1); err == nil {
+		t.Error("window > len accepted")
+	}
+	if _, err := SlidingWindows(recs, 2, 2, 0); err == nil {
+		t.Error("stride 0 accepted")
+	}
+	if _, err := SlidingWindows(recs, 0, 2, 1); err == nil {
+		t.Error("Δ=0 accepted")
+	}
+}
+
+func TestSlidingWindowsCountsMatchAccount(t *testing.T) {
+	// One window covering everything must equal Account.
+	honest := []int{1, 0, 0, 1, 0, 0, 1, 0, 0}
+	adv := []int{0, 1, 0, 2, 0, 0, 1, 0, 1}
+	recs := mkRecords(honest, adv)
+	const delta = 2
+	whole, err := SlidingWindows(recs, delta, len(recs), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(whole) != 1 {
+		t.Fatalf("windows = %d", len(whole))
+	}
+	acc, err := Account(recs, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole[0].Convergence != acc.Convergence || whole[0].Adversary != acc.Adversary {
+		t.Errorf("window %+v vs account %+v", whole[0], acc)
+	}
+}
+
+func TestSlidingWindowsStrideAndAttribution(t *testing.T) {
+	// Pattern: H N N H1 N N → opportunity completes at round 6.
+	honest := []int{1, 0, 0, 1, 0, 0}
+	adv := []int{0, 0, 1, 0, 0, 0}
+	recs := mkRecords(honest, adv)
+	wins, err := SlidingWindows(recs, 2, 3, 3) // rounds 1–3 and 4–6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 2 {
+		t.Fatalf("windows = %d", len(wins))
+	}
+	if wins[0].Convergence != 0 || wins[0].Adversary != 1 {
+		t.Errorf("window 1 = %+v", wins[0])
+	}
+	if wins[1].Convergence != 1 || wins[1].Adversary != 0 {
+		t.Errorf("window 2 = %+v (opportunity should land in round 6)", wins[1])
+	}
+}
+
+func TestWorstWindow(t *testing.T) {
+	ledgers := []Accounting{
+		{Rounds: 10, Convergence: 5, Adversary: 1},
+		{Rounds: 10, Convergence: 1, Adversary: 4},
+		{Rounds: 10, Convergence: 3, Adversary: 3},
+	}
+	worst, idx, err := WorstWindow(ledgers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || worst.Margin() != -3 {
+		t.Errorf("worst = %+v at %d", worst, idx)
+	}
+	if _, _, err := WorstWindow(nil); err == nil {
+		t.Error("empty slice accepted")
+	}
+}
+
+func TestPositiveMarginFraction(t *testing.T) {
+	ledgers := []Accounting{
+		{Convergence: 2, Adversary: 1},
+		{Convergence: 1, Adversary: 2},
+		{Convergence: 3, Adversary: 1},
+		{Convergence: 1, Adversary: 1}, // zero margin is not positive
+	}
+	if got := PositiveMarginFraction(ledgers); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("fraction = %g, want 0.5", got)
+	}
+	if PositiveMarginFraction(nil) != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestDepthHistogram(t *testing.T) {
+	viols := []Violation{
+		{ForkDepth: 3}, {ForkDepth: 3}, {ForkDepth: 5},
+	}
+	h := DepthHistogram(viols)
+	if h[3] != 2 || h[5] != 1 || len(h) != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	if got := DepthHistogram(nil); len(got) != 0 {
+		t.Errorf("empty histogram = %v", got)
+	}
+}
+
+// TestWindowedLemma1AboveBound: above the neat bound, essentially every
+// sufficiently long window should have positive margin.
+func TestWindowedLemma1AboveBound(t *testing.T) {
+	pr := params.Params{N: 100, P: 1e-3 / 3, Delta: 3, Nu: 0.25} // c ≈ 10
+	e, err := engine.New(engine.Config{Params: pr, Rounds: 60000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := SlidingWindows(res.Records, pr.Delta, 5000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := PositiveMarginFraction(wins)
+	if frac < 0.99 {
+		t.Errorf("only %.0f%% of windows had positive margin above the bound", 100*frac)
+	}
+	worst, _, err := WorstWindow(wins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Margin() <= 0 {
+		t.Logf("worst window margin %d (allowed rarely)", worst.Margin())
+	}
+}
+
+// TestWindowedLemma1BelowBound: far below the bound the margins should be
+// overwhelmingly negative.
+func TestWindowedLemma1BelowBound(t *testing.T) {
+	pr, err := params.FromC(100, 8, 0.45, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(engine.Config{Params: pr, Rounds: 40000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins, err := SlidingWindows(res.Records, pr.Delta, 5000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := PositiveMarginFraction(wins); frac > 0.01 {
+		t.Errorf("%.0f%% of windows positive far below the bound", 100*frac)
+	}
+}
+
+func BenchmarkSlidingWindows(b *testing.B) {
+	honest := make([]int, 100000)
+	adv := make([]int, 100000)
+	for i := range honest {
+		if i%7 == 0 {
+			honest[i] = 1
+		}
+		if i%13 == 0 {
+			adv[i] = 1
+		}
+	}
+	recs := mkRecords(honest, adv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SlidingWindows(recs, 3, 1000, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

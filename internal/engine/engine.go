@@ -1,0 +1,447 @@
+// Package engine executes Nakamoto's blockchain protocol in the paper's
+// round-based Δ-delay model (Section III). Each round, in order:
+//
+//  1. every honest player receives the messages the adversary scheduled
+//     for this round and adopts the longest chain it has seen;
+//  2. every honest player makes one parallel query to the proof-of-work
+//     oracle; each winner extends its own current chain by one block and
+//     broadcasts it, with per-recipient delays chosen by the adversary
+//     (clamped to Δ by the network);
+//  3. the adversary makes νn sequential queries and acts through its
+//     Strategy: it may mine on any block, chain several blocks within the
+//     round, withhold blocks indefinitely, and deliver them to arbitrary
+//     recipients at arbitrary future rounds.
+//
+// The engine records the per-round state the paper's Markov analysis is
+// built on — the number of honest blocks (the H/H₁/N classification of
+// Detailed-State-Set, Eq. 38) and the adversary's block count (the
+// A(t₀, t₁) process of Eq. 27) — and exposes honest views for the
+// consistency checker.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"neatbound/internal/blockchain"
+	"neatbound/internal/mining"
+	"neatbound/internal/network"
+	"neatbound/internal/params"
+	"neatbound/internal/rng"
+)
+
+// Adversary is the strategy interface: it schedules honest message delays
+// and commands the corrupted players' mining. Implementations live in
+// package adversary; PassiveAdversary in this package is the no-op
+// baseline.
+type Adversary interface {
+	// Name identifies the strategy in logs and experiment output.
+	Name() string
+	// HonestDelayPolicy returns the delay schedule applied to honest
+	// broadcasts in the current round. It is consulted once per round.
+	HonestDelayPolicy(ctx *Context) network.DelayPolicy
+	// Mine is invoked once per round with the number of successful
+	// adversarial oracle queries. The strategy creates blocks and
+	// schedules deliveries through ctx.
+	Mine(ctx *Context, mined int)
+}
+
+// Config parameterizes an execution.
+type Config struct {
+	// Params is the protocol parameterization; it must Validate.
+	Params params.Params
+	// Rounds is the number of rounds to execute.
+	Rounds int
+	// Seed drives all randomness; identical configs replay identically.
+	Seed uint64
+	// Adversary is the strategy; nil selects PassiveAdversary.
+	Adversary Adversary
+	// OnRound, when non-nil, is called at the end of every round with the
+	// engine (for view inspection) and the round's record.
+	OnRound func(e *Engine, rec RoundRecord)
+	// NuSchedule, when non-nil, makes corruption adaptive (the model's
+	// "A can corrupt an honest party or uncorrupt a corrupted player"):
+	// each round the adversary controls round(ν(t)·N) players, clamped to
+	// keep at least one player on each side. All N players then maintain
+	// views; the currently corrupted ones are the tail of the index
+	// range. Params.Nu still bounds validation and sets the baseline.
+	NuSchedule func(round int) float64
+}
+
+// RoundRecord summarizes one executed round.
+type RoundRecord struct {
+	// Round is the 1-based round number.
+	Round int
+	// Nu is the adversarial fraction in effect this round (constant
+	// unless Config.NuSchedule is set).
+	Nu float64
+	// HonestMined is the number of blocks mined by honest players this
+	// round (the X ~ binom(µn, p) draw behind the H/N state).
+	HonestMined int
+	// AdversaryMined is the number of successful adversarial queries (the
+	// increment of A(t₀, t₁), Eq. 27).
+	AdversaryMined int
+	// MaxHonestHeight is the maximum chain height across honest views
+	// after this round.
+	MaxHonestHeight int
+	// MinHonestHeight is the minimum chain height across honest views
+	// after this round.
+	MinHonestHeight int
+	// DistinctTips is the number of distinct honest chain tips after this
+	// round (1 means all honest players agree).
+	DistinctTips int
+}
+
+// Result is the outcome of a full run.
+type Result struct {
+	// Records holds one entry per executed round.
+	Records []RoundRecord
+	// Tree is the global block tree (ground truth).
+	Tree *blockchain.Tree
+	// FinalTips maps honest player index to final chain tip.
+	FinalTips []blockchain.BlockID
+	// HonestBlocks and AdversaryBlocks count blocks mined over the run.
+	HonestBlocks, AdversaryBlocks int
+}
+
+// Engine drives one protocol execution. Create with New, then Run.
+type Engine struct {
+	cfg   Config
+	pr    params.Params
+	tree  *blockchain.Tree
+	net   *network.Network
+	alloc *mining.IDAllocator
+	// players is the number of view-maintaining nodes (= len(tips)).
+	// honest is the number of currently honest (mining) players, always
+	// the prefix [0, honest) of the player range. Without a NuSchedule,
+	// players == honest for the whole run.
+	players int
+	honest  int
+	adv     Adversary
+	advRng  *rng.Stream
+	mineRg  *rng.Stream
+	tips    []blockchain.BlockID // one view per player; [0, honest) are honest
+	round   int
+	// oracle, when non-nil, replaces binomial sampling with literal hash
+	// queries (see WithOracleMining).
+	oracle *oracleMiner
+	// cached stats
+	honestBlocks, adversaryBlocks int
+}
+
+// New validates cfg and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("engine: rounds = %d must be ≥ 1", cfg.Rounds)
+	}
+	honest := cfg.Params.HonestCount()
+	if honest < 1 {
+		return nil, fmt.Errorf("engine: no honest players for n=%d ν=%g", cfg.Params.N, cfg.Params.Nu)
+	}
+	players := honest
+	if cfg.NuSchedule != nil {
+		// Adaptive corruption: every player may be honest at some point,
+		// so all N maintain views.
+		players = cfg.Params.N
+	}
+	net, err := network.New(players, cfg.Params.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = PassiveAdversary{}
+	}
+	root := rng.New(cfg.Seed)
+	e := &Engine{
+		cfg:     cfg,
+		pr:      cfg.Params,
+		tree:    blockchain.NewTree(),
+		net:     net,
+		alloc:   mining.NewIDAllocator(),
+		players: players,
+		honest:  honest,
+		adv:     adv,
+		advRng:  root.Split(1),
+		mineRg:  root.Split(2),
+		tips:    make([]blockchain.BlockID, players),
+	}
+	for i := range e.tips {
+		e.tips[i] = blockchain.GenesisID
+	}
+	return e, nil
+}
+
+// Params returns the engine's parameterization.
+func (e *Engine) Params() params.Params { return e.pr }
+
+// Round returns the current (last executed) round, 0 before Run starts.
+func (e *Engine) Round() int { return e.round }
+
+// Tree returns the global block tree.
+func (e *Engine) Tree() *blockchain.Tree { return e.tree }
+
+// HonestCount returns the number of honest players.
+func (e *Engine) HonestCount() int { return e.honest }
+
+// PlayerTip returns honest player i's current chain tip.
+func (e *Engine) PlayerTip(i int) (blockchain.BlockID, error) {
+	if i < 0 || i >= e.honest {
+		return 0, fmt.Errorf("engine: honest player %d outside [0, %d)", i, e.honest)
+	}
+	return e.tips[i], nil
+}
+
+// DistinctTips returns the distinct honest chain tips, sorted by height
+// then ID.
+func (e *Engine) DistinctTips() []blockchain.BlockID {
+	seen := map[blockchain.BlockID]struct{}{}
+	var out []blockchain.BlockID
+	for _, t := range e.tips[:e.honest] {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	// Insertion sort by (height, ID); tip sets are tiny.
+	height := func(id blockchain.BlockID) int {
+		h, _ := e.tree.Height(id)
+		return h
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			if height(out[j]) < height(out[j-1]) ||
+				(height(out[j]) == height(out[j-1]) && out[j] < out[j-1]) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MaxHonestHeight returns the tallest honest view.
+func (e *Engine) MaxHonestHeight() int {
+	max := 0
+	for _, t := range e.tips[:e.honest] {
+		if h, _ := e.tree.Height(t); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// minHonestHeight returns the shortest honest view.
+func (e *Engine) minHonestHeight() int {
+	min := int(^uint(0) >> 1)
+	for _, t := range e.tips[:e.honest] {
+		if h, _ := e.tree.Height(t); h < min {
+			min = h
+		}
+	}
+	return min
+}
+
+// Run executes cfg.Rounds rounds and returns the result.
+func (e *Engine) Run() (*Result, error) {
+	res := &Result{
+		Tree:    e.tree,
+		Records: make([]RoundRecord, 0, e.cfg.Rounds),
+	}
+	for r := 1; r <= e.cfg.Rounds; r++ {
+		rec, err := e.step()
+		if err != nil {
+			return nil, err
+		}
+		res.Records = append(res.Records, rec)
+		if e.cfg.OnRound != nil {
+			e.cfg.OnRound(e, rec)
+		}
+	}
+	res.FinalTips = append([]blockchain.BlockID(nil), e.tips...)
+	res.HonestBlocks = e.honestBlocks
+	res.AdversaryBlocks = e.adversaryBlocks
+	return res, nil
+}
+
+// step executes one round.
+func (e *Engine) step() (RoundRecord, error) {
+	e.round++
+	t := e.round
+	ctx := &Context{e: e}
+
+	// 0. Adaptive corruption: the adversary picks this round's corrupted
+	// set (a tail segment of the player range).
+	nu := e.pr.Nu
+	if e.cfg.NuSchedule != nil {
+		requested := e.cfg.NuSchedule(t)
+		advCount := int(math.Round(requested * float64(e.pr.N)))
+		if advCount < 1 {
+			advCount = 1
+		}
+		if advCount > e.pr.N-1 {
+			advCount = e.pr.N - 1
+		}
+		e.honest = e.pr.N - advCount
+		if e.honest > e.players {
+			e.honest = e.players
+		}
+		nu = float64(e.pr.N-e.honest) / float64(e.pr.N)
+	}
+
+	// 1. Delivery: every view-maintaining player receives scheduled
+	// messages and adopts the longest chain seen.
+	for i := 0; i < e.players; i++ {
+		for _, m := range e.net.DeliverTo(i, t) {
+			tip, err := e.tree.Adopt(e.tips[i], m.Block.ID)
+			if err != nil {
+				return RoundRecord{}, fmt.Errorf("engine: round %d adopt: %w", t, err)
+			}
+			e.tips[i] = tip
+		}
+	}
+
+	// 2. Honest mining: parallel queries; winners extend their own views.
+	policy := e.adv.HonestDelayPolicy(ctx)
+	var winners []int
+	if e.oracle != nil {
+		winners = e.oracle.mineRound(e.tips)
+	} else {
+		winners = mining.MineRound(e.mineRg, e.honest, e.pr.P)
+	}
+	for _, i := range winners {
+		parent := e.tips[i]
+		b := &blockchain.Block{
+			ID:     e.alloc.Next(),
+			Parent: parent,
+			Round:  t,
+			Miner:  i,
+			Honest: true,
+		}
+		if err := e.tree.Add(b); err != nil {
+			return RoundRecord{}, fmt.Errorf("engine: round %d honest add: %w", t, err)
+		}
+		e.tips[i] = b.ID
+		e.honestBlocks++
+		if err := e.net.Broadcast(network.Message{Block: b, From: i, SentRound: t}, t, policy); err != nil {
+			return RoundRecord{}, fmt.Errorf("engine: round %d broadcast: %w", t, err)
+		}
+	}
+
+	// 3. Adversary: sequential queries, then strategy action.
+	advMined := mining.MineCount(e.advRng, e.pr.N-e.honest, e.pr.P)
+	e.adversaryBlocks += advMined
+	e.adv.Mine(ctx, advMined)
+
+	return RoundRecord{
+		Round:           t,
+		Nu:              nu,
+		HonestMined:     len(winners),
+		AdversaryMined:  advMined,
+		MaxHonestHeight: e.MaxHonestHeight(),
+		MinHonestHeight: e.minHonestHeight(),
+		DistinctTips:    len(e.DistinctTips()),
+	}, nil
+}
+
+// Context is the adversary's controlled handle on the execution. The
+// adversary reads everything (it controls the network) but can only write
+// through the methods below.
+type Context struct {
+	e *Engine
+}
+
+// Round returns the current round.
+func (c *Context) Round() int { return c.e.round }
+
+// Params returns the protocol parameters.
+func (c *Context) Params() params.Params { return c.e.pr }
+
+// Tree returns the global block tree (read access; mutate only through
+// MineBlock).
+func (c *Context) Tree() *blockchain.Tree { return c.e.tree }
+
+// Rng returns the adversary's random stream.
+func (c *Context) Rng() *rng.Stream { return c.e.advRng }
+
+// HonestCount returns the number of honest players.
+func (c *Context) HonestCount() int { return c.e.honest }
+
+// HonestTips returns the distinct honest chain tips.
+func (c *Context) HonestTips() []blockchain.BlockID { return c.e.DistinctTips() }
+
+// HonestTipOf returns the tip of honest player i.
+func (c *Context) HonestTipOf(i int) (blockchain.BlockID, error) { return c.e.PlayerTip(i) }
+
+// MaxHonestHeight returns the tallest honest view.
+func (c *Context) MaxHonestHeight() int { return c.e.MaxHonestHeight() }
+
+// MineBlock creates an adversarial block extending parent and records it
+// in the tree. The block is NOT announced; use Send/SendToAll to deliver
+// it (withholding is modeled by simply not sending).
+func (c *Context) MineBlock(parent blockchain.BlockID, payload string) (*blockchain.Block, error) {
+	b := &blockchain.Block{
+		ID:      c.e.alloc.Next(),
+		Parent:  parent,
+		Round:   c.e.round,
+		Miner:   c.e.honest, // first corrupted index
+		Honest:  false,
+		Payload: payload,
+	}
+	if err := c.e.tree.Add(b); err != nil {
+		return nil, fmt.Errorf("engine: adversary mine: %w", err)
+	}
+	return b, nil
+}
+
+// Send schedules b for delivery to honest player recipient at
+// deliverRound (at the earliest, next round).
+func (c *Context) Send(b *blockchain.Block, recipient, deliverRound int) error {
+	m := network.Message{Block: b, From: -1, SentRound: c.e.round}
+	return c.e.net.Send(m, recipient, deliverRound)
+}
+
+// SendToAll schedules b for delivery to every view-maintaining player at
+// deliverRound.
+func (c *Context) SendToAll(b *blockchain.Block, deliverRound int) error {
+	for i := 0; i < c.e.players; i++ {
+		if err := c.Send(b, i, deliverRound); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PassiveAdversary mines on the longest chain it sees and publishes
+// immediately, with no message delays — the benign baseline.
+type PassiveAdversary struct{}
+
+// Name implements Adversary.
+func (PassiveAdversary) Name() string { return "passive" }
+
+// HonestDelayPolicy implements Adversary: no delays.
+func (PassiveAdversary) HonestDelayPolicy(*Context) network.DelayPolicy {
+	return network.MinDelay{}
+}
+
+// Mine implements Adversary: extend the longest chain, publish at once.
+func (PassiveAdversary) Mine(ctx *Context, mined int) {
+	if mined == 0 {
+		return
+	}
+	// Longest block known globally (the adversary sees everything).
+	parent := ctx.Tree().Best()
+	for k := 0; k < mined; k++ {
+		b, err := ctx.MineBlock(parent, "")
+		if err != nil {
+			return
+		}
+		parent = b.ID
+		_ = ctx.SendToAll(b, ctx.Round()+1)
+	}
+}

@@ -1,0 +1,274 @@
+// Package figures regenerates the paper's evaluation artifacts: the
+// Figure-1 curve comparison (νmax against c for the neat bound, the PSS
+// consistency analysis, and the PSS attack), the Table-I notation
+// quantities, and the Remark-1 regime table. Output is available as data
+// series, CSV, and an ASCII plot for terminal inspection.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"neatbound/internal/bounds"
+	"neatbound/internal/params"
+	"neatbound/internal/solve"
+)
+
+// Series is one named curve: Y[i] plotted against X[i].
+type Series struct {
+	// Name labels the curve.
+	Name string
+	// X and Y are same-length coordinate slices.
+	X, Y []float64
+}
+
+// Figure1CDefault is the paper's plotted c range, 0.1 to 100 (log axis).
+func Figure1CDefault(points int) []float64 {
+	if points < 2 {
+		points = 61
+	}
+	return solve.LogSpace(0.1, 100, points)
+}
+
+// Figure1 computes the three curves of Figure 1 on the given c grid:
+//
+//	"neat (this paper)"  — νmax from c > 2µ/ln(µ/ν)  (magenta)
+//	"PSS consistency"    — νmax = ½(2−c+√(c²−2c))    (blue, 0 for c ≤ 2)
+//	"PSS attack"         — νmin = (2c+1−√(4c²+1))/2  (red)
+func Figure1(cValues []float64) ([]Series, error) {
+	if len(cValues) == 0 {
+		return nil, fmt.Errorf("figures: empty c grid")
+	}
+	neat := Series{Name: "neat (this paper)", X: cValues, Y: make([]float64, len(cValues))}
+	pss := Series{Name: "PSS consistency", X: cValues, Y: make([]float64, len(cValues))}
+	atk := Series{Name: "PSS attack", X: cValues, Y: make([]float64, len(cValues))}
+	for i, c := range cValues {
+		v, err := bounds.NeatBoundNuMax(c)
+		if err != nil {
+			return nil, fmt.Errorf("figures: neat curve at c=%g: %w", c, err)
+		}
+		neat.Y[i] = v
+		if v, err = bounds.PSSConsistencyNuMax(c); err != nil {
+			return nil, fmt.Errorf("figures: PSS curve at c=%g: %w", c, err)
+		}
+		pss.Y[i] = v
+		if v, err = bounds.PSSAttackNuMin(c); err != nil {
+			return nil, fmt.Errorf("figures: attack curve at c=%g: %w", c, err)
+		}
+		atk.Y[i] = v
+	}
+	return []Series{neat, pss, atk}, nil
+}
+
+// Figure1Extended computes the classic three curves plus two curves the
+// paper does not plot but its machinery implies:
+//
+//	"Theorem 2 (finite Δ)" — νmax from Inequality (11) at the given Δ and
+//	slack, the explicit-constant version of the neat curve;
+//	"PSS exact"            — νmax from the unapproximated PSS condition
+//	α[1−(2Δ+2)α] > β at the given (n, Δ).
+func Figure1Extended(cValues []float64, n, delta int, eps bounds.Epsilons) ([]Series, error) {
+	series, err := Figure1(cValues)
+	if err != nil {
+		return nil, err
+	}
+	t2 := Series{Name: "Theorem 2 (finite Δ)", X: cValues, Y: make([]float64, len(cValues))}
+	pssExact := Series{Name: "PSS exact", X: cValues, Y: make([]float64, len(cValues))}
+	for i, c := range cValues {
+		v, err := bounds.Theorem2NuMax(c, float64(delta), eps)
+		if err != nil {
+			return nil, fmt.Errorf("figures: Theorem-2 curve at c=%g: %w", c, err)
+		}
+		t2.Y[i] = v
+		if v, err = bounds.PSSExactNuMax(c, n, delta); err != nil {
+			return nil, fmt.Errorf("figures: exact PSS curve at c=%g: %w", c, err)
+		}
+		pssExact.Y[i] = v
+	}
+	return append(series, t2, pssExact), nil
+}
+
+// WriteCSV emits the series as CSV with a shared x column. All series must
+// share the same X grid.
+func WriteCSV(w io.Writer, series []Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("figures: no series")
+	}
+	n := len(series[0].X)
+	header := []string{"c"}
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("figures: series %q has mismatched length", s.Name)
+		}
+		header = append(header, csvQuote(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%g", s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// PlotOptions configures RenderASCII.
+type PlotOptions struct {
+	// Width and Height are the plot area dimensions in characters.
+	// Defaults: 72×24.
+	Width, Height int
+	// LogX plots x on a log axis (Figure 1 uses one).
+	LogX bool
+	// YMin and YMax fix the y range; when equal, the range is computed
+	// from the data.
+	YMin, YMax float64
+}
+
+// RenderASCII draws the series into a character grid with axes, one marker
+// per series, and a legend. It is deterministic and uses only ASCII.
+func RenderASCII(series []Series, opt PlotOptions) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("figures: no series")
+	}
+	if opt.Width <= 0 {
+		opt.Width = 72
+	}
+	if opt.Height <= 0 {
+		opt.Height = 24
+	}
+	markers := []byte{'*', '+', 'x', 'o', '#', '@'}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := opt.YMin, opt.YMax
+	autoY := yMin == yMax
+	if autoY {
+		yMin, yMax = math.Inf(1), math.Inf(-1)
+	}
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if opt.LogX && x <= 0 {
+				return "", fmt.Errorf("figures: log-x plot with non-positive x=%g", x)
+			}
+			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+			if autoY {
+				yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+			}
+		}
+	}
+	if xMax <= xMin || yMax <= yMin {
+		return "", fmt.Errorf("figures: degenerate plot range x[%g,%g] y[%g,%g]", xMin, xMax, yMin, yMax)
+	}
+	xt := func(x float64) float64 {
+		if opt.LogX {
+			return math.Log(x)
+		}
+		return x
+	}
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			fx := (xt(s.X[i]) - xt(xMin)) / (xt(xMax) - xt(xMin))
+			fy := (s.Y[i] - yMin) / (yMax - yMin)
+			if fy < 0 || fy > 1 {
+				continue // outside a fixed y-range
+			}
+			col := int(math.Round(fx * float64(opt.Width-1)))
+			row := opt.Height - 1 - int(math.Round(fy*float64(opt.Height-1)))
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.3g +%s\n", yMax, strings.Repeat("-", opt.Width))
+	for r := 0; r < opt.Height; r++ {
+		fmt.Fprintf(&b, "%8s |%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8.3g +%s\n", yMin, strings.Repeat("-", opt.Width))
+	xl, xr := fmt.Sprintf("%.3g", xMin), fmt.Sprintf("%.3g", xMax)
+	pad := opt.Width - len(xl) - len(xr)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%8s  %s%s%s", "", xl, strings.Repeat(" ", pad), xr)
+	if opt.LogX {
+		b.WriteString("  (log scale)")
+	}
+	b.WriteString("\n\nlegend:\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c  %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String(), nil
+}
+
+// TableIText renders Table I for a parameterization.
+func TableIText(pr params.Params) (string, error) {
+	tab, err := params.ComputeTableI(pr)
+	if err != nil {
+		return "", fmt.Errorf("figures: %w", err)
+	}
+	return tab.String(), nil
+}
+
+// RegimeRow is one line of the Remark-1 table.
+type RegimeRow struct {
+	// D1, D2 are the regime exponents δ₁, δ₂.
+	D1, D2 float64
+	// NuLo, NuHi bound the covered adversarial fractions (Inequality 12).
+	NuLo, NuHi float64
+	// SlackMinusOne is the structural multiplicative slack beyond (1+ε₂)
+	// in Inequality (13), minus one.
+	SlackMinusOne float64
+}
+
+// Remark1Table evaluates the paper's regimes at delay bound delta.
+func Remark1Table(delta float64) ([]RegimeRow, error) {
+	rows := make([]RegimeRow, 0, len(bounds.PaperRegimes))
+	for _, r := range bounds.PaperRegimes {
+		lo, hi, err := r.NuRange(delta)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %w", err)
+		}
+		// ε₂ → 0 isolates the structural factor of Inequality (13).
+		slack, err := r.Slack(delta, 1e-12)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %w", err)
+		}
+		rows = append(rows, RegimeRow{
+			D1: r.D1, D2: r.D2, NuLo: lo, NuHi: hi, SlackMinusOne: slack - 1,
+		})
+	}
+	return rows, nil
+}
+
+// Remark1Text renders the Remark-1 table.
+func Remark1Text(delta float64) (string, error) {
+	rows, err := Remark1Table(delta)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Remark 1 regimes at Δ = %g (c need only exceed 2µ/ln(µ/ν)·(1+ε₂)·(1+slack)):\n", delta)
+	fmt.Fprintf(&b, "  %-8s %-8s %-14s %-16s %s\n", "δ₁", "δ₂", "ν lower", "ν upper", "slack")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-8.4g %-8.4g %-14.3g ½ − %-12.3g %.3g\n",
+			r.D1, r.D2, r.NuLo, 0.5-r.NuHi, r.SlackMinusOne)
+	}
+	return b.String(), nil
+}

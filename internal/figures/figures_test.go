@@ -1,0 +1,269 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"neatbound/internal/bounds"
+	"neatbound/internal/params"
+)
+
+func TestFigure1CDefault(t *testing.T) {
+	grid := Figure1CDefault(61)
+	if len(grid) != 61 || grid[0] != 0.1 || grid[60] != 100 {
+		t.Fatalf("grid endpoints %g..%g len %d", grid[0], grid[len(grid)-1], len(grid))
+	}
+	if got := Figure1CDefault(0); len(got) != 61 {
+		t.Errorf("default point count = %d", len(got))
+	}
+}
+
+func TestFigure1Series(t *testing.T) {
+	grid := Figure1CDefault(31)
+	series, err := Figure1(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("got %d series", len(series))
+	}
+	names := []string{"neat (this paper)", "PSS consistency", "PSS attack"}
+	for i, s := range series {
+		if s.Name != names[i] {
+			t.Errorf("series %d named %q", i, s.Name)
+		}
+		if len(s.Y) != len(grid) {
+			t.Errorf("series %q length %d", s.Name, len(s.Y))
+		}
+		for j, y := range s.Y {
+			if y < 0 || y >= 0.5 {
+				t.Errorf("series %q point %d: ν = %g outside [0, ½)", s.Name, j, y)
+			}
+		}
+	}
+	// Figure-1 shape: neat between PSS consistency and attack everywhere.
+	for j := range grid {
+		if !(series[1].Y[j] <= series[0].Y[j] && series[0].Y[j] < series[2].Y[j]) {
+			t.Errorf("c=%g: ordering violated: pss=%g neat=%g attack=%g",
+				grid[j], series[1].Y[j], series[0].Y[j], series[2].Y[j])
+		}
+	}
+}
+
+func TestFigure1EmptyGrid(t *testing.T) {
+	if _, err := Figure1(nil); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestFigure1Extended(t *testing.T) {
+	grid := Figure1CDefault(13)
+	eps := bounds.Epsilons{E1: 0.05, E2: 0.05}
+	series, err := Figure1Extended(grid, 100000, 100000, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("series = %d, want 5", len(series))
+	}
+	neat, t2, pssExact := series[0], series[3], series[4]
+	if t2.Name != "Theorem 2 (finite Δ)" || pssExact.Name != "PSS exact" {
+		t.Fatalf("names: %q, %q", t2.Name, pssExact.Name)
+	}
+	for i := range grid {
+		// The explicit-constant Theorem-2 curve sits at or below the
+		// asymptotic neat curve (it demands more c at the same ν).
+		if t2.Y[i] > neat.Y[i]+1e-12 {
+			t.Errorf("c=%g: Theorem-2 νmax %g above neat %g", grid[i], t2.Y[i], neat.Y[i])
+		}
+		// The exact PSS curve sits below the neat curve too.
+		if pssExact.Y[i] >= neat.Y[i] && pssExact.Y[i] > 0 {
+			t.Errorf("c=%g: exact PSS νmax %g not below neat %g", grid[i], pssExact.Y[i], neat.Y[i])
+		}
+		// And near its closed-form approximation for large n, Δ.
+		if approx := series[1].Y[i]; pssExact.Y[i] > 0 && approx > 0 {
+			if diff := pssExact.Y[i] - approx; diff > 0.02 || diff < -0.02 {
+				t.Errorf("c=%g: exact PSS %g vs approx %g", grid[i], pssExact.Y[i], approx)
+			}
+		}
+	}
+}
+
+func TestFigure1ExtendedErrors(t *testing.T) {
+	eps := bounds.Epsilons{E1: 0.05, E2: 0.05}
+	if _, err := Figure1Extended(nil, 1000, 10, eps); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := Figure1Extended([]float64{1}, 3, 10, eps); err == nil {
+		t.Error("n=3 accepted")
+	}
+	if _, err := Figure1Extended([]float64{1}, 1000, 10, bounds.Epsilons{}); err == nil {
+		t.Error("invalid epsilons accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	series, err := Figure1([]float64{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, series); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "c,") {
+		t.Errorf("header %q", lines[0])
+	}
+	if got := strings.Count(lines[1], ","); got != 3 {
+		t.Errorf("row has %d commas, want 3", got)
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	if err := WriteCSV(&strings.Builder{}, nil); err == nil {
+		t.Error("no series accepted")
+	}
+	bad := []Series{{Name: "a", X: []float64{1, 2}, Y: []float64{1}}}
+	if err := WriteCSV(&strings.Builder{}, bad); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestCSVQuote(t *testing.T) {
+	if got := csvQuote("plain"); got != "plain" {
+		t.Errorf("plain quoting: %q", got)
+	}
+	if got := csvQuote(`a,b"c`); got != `"a,b""c"` {
+		t.Errorf("special quoting: %q", got)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	series, err := Figure1(Figure1CDefault(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderASCII(series, PlotOptions{Width: 60, Height: 20, LogX: true, YMin: 0, YMax: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"*", "+", "x", "legend:", "neat (this paper)", "PSS attack", "(log scale)"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("plot missing %q", needle)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 22 {
+		t.Errorf("plot has only %d lines", len(lines))
+	}
+}
+
+func TestRenderASCIIErrors(t *testing.T) {
+	if _, err := RenderASCII(nil, PlotOptions{}); err == nil {
+		t.Error("no series accepted")
+	}
+	s := []Series{{Name: "bad", X: []float64{0}, Y: []float64{1}}}
+	if _, err := RenderASCII(s, PlotOptions{LogX: true}); err == nil {
+		t.Error("log plot of x=0 accepted")
+	}
+	flat := []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{3, 3}}}
+	if _, err := RenderASCII(flat, PlotOptions{}); err == nil {
+		t.Error("degenerate y range accepted")
+	}
+}
+
+func TestRenderASCIIFixedRangeClipping(t *testing.T) {
+	s := []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.9, 5}}}
+	out, err := RenderASCII(s, PlotOptions{Width: 20, Height: 10, YMin: 0, YMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The y=5 point is clipped, not plotted or panicking. Count markers in
+	// the plot area only (the legend carries one more).
+	plotArea := strings.SplitN(out, "legend:", 2)[0]
+	if strings.Count(plotArea, "*") != 2 {
+		t.Errorf("expected 2 plotted points, got %d:\n%s", strings.Count(plotArea, "*"), out)
+	}
+}
+
+func TestTableIText(t *testing.T) {
+	pr := params.Params{N: 100000, P: 1e-18, Delta: int(1e13), Nu: 0.3}
+	out, err := TableIText(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"α", "ᾱ", "α₁", "100000"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("table missing %q:\n%s", needle, out)
+		}
+	}
+	if _, err := TableIText(params.Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestRemark1Table(t *testing.T) {
+	rows, err := Remark1Table(1e13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Regime 1 claims ≈5e-5 slack, regime 2 ≈2e-3 (Eqs. 15, 17).
+	if math.Abs(rows[0].SlackMinusOne-5e-5) > 2e-5 {
+		t.Errorf("regime 1 slack = %g, want ≈5e-5", rows[0].SlackMinusOne)
+	}
+	if math.Abs(rows[1].SlackMinusOne-2e-3) > 1e-3 {
+		t.Errorf("regime 2 slack = %g, want ≈2e-3", rows[1].SlackMinusOne)
+	}
+	for i, r := range rows {
+		if !(r.NuLo < r.NuHi && r.NuHi < 0.5) {
+			t.Errorf("row %d: bad range [%g, %g]", i, r.NuLo, r.NuHi)
+		}
+	}
+	if _, err := Remark1Table(1); err == nil {
+		t.Error("Δ=1 accepted")
+	}
+}
+
+func TestRemark1Text(t *testing.T) {
+	out, err := Remark1Text(1e13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "δ₁") || !strings.Contains(out, "slack") {
+		t.Errorf("text missing headers:\n%s", out)
+	}
+	if _, err := Remark1Text(0.5); err == nil {
+		t.Error("Δ<1 accepted")
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	grid := Figure1CDefault(61)
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure1(grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderASCII(b *testing.B) {
+	series, err := Figure1(Figure1CDefault(61))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := PlotOptions{Width: 72, Height: 24, LogX: true, YMin: 0, YMax: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RenderASCII(series, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

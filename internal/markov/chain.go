@@ -1,0 +1,437 @@
+// Package markov implements the Markov-chain machinery behind the paper's
+// Theorem 1: a generic finite-chain engine (construction, validation,
+// stationary distributions, ergodicity checks, mixing time, random walks)
+// plus the two chains the paper introduces —
+//
+//   - the suffix-of-previous-and-current-states chain C_F of Figure 2,
+//     with its analytic stationary distribution Eqs. (37a)–(37d), and
+//   - the concatenated chain C_{F‖P} whose stationary probability of the
+//     convergence-opportunity vertex HN^{≥Δ}‖H₁N^{Δ} is ᾱ^{2Δ}·α₁
+//     (Eq. 44), validated here by materializing the product chain for
+//     small Δ and checking the product-form identity Eq. (40).
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"neatbound/internal/rng"
+)
+
+// ErrNotStochastic is returned when a transition row does not sum to 1.
+var ErrNotStochastic = errors.New("markov: transition matrix is not row-stochastic")
+
+// ErrNotIrreducible is returned by methods that require an irreducible
+// chain.
+var ErrNotIrreducible = errors.New("markov: chain is not irreducible")
+
+// Chain is a finite, discrete-time Markov chain with a dense transition
+// matrix. Build one with NewChain and SetTransition, then Validate.
+type Chain struct {
+	names []string
+	p     [][]float64
+}
+
+// NewChain creates a chain with n states whose transition probabilities are
+// all zero. Optional names label the states (len(names) must be 0 or n).
+func NewChain(n int, names ...string) (*Chain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("markov: chain needs at least 1 state, got %d", n)
+	}
+	if len(names) != 0 && len(names) != n {
+		return nil, fmt.Errorf("markov: got %d names for %d states", len(names), n)
+	}
+	c := &Chain{p: make([][]float64, n)}
+	for i := range c.p {
+		c.p[i] = make([]float64, n)
+	}
+	if len(names) == n {
+		c.names = append([]string(nil), names...)
+	} else {
+		c.names = make([]string, n)
+		for i := range c.names {
+			c.names[i] = fmt.Sprintf("s%d", i)
+		}
+	}
+	return c, nil
+}
+
+// Len returns the number of states.
+func (c *Chain) Len() int { return len(c.p) }
+
+// Name returns the label of state i.
+func (c *Chain) Name(i int) string { return c.names[i] }
+
+// Index returns the index of the state named name, or -1.
+func (c *Chain) Index(name string) int {
+	for i, n := range c.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetTransition sets P[i→j] = prob.
+func (c *Chain) SetTransition(i, j int, prob float64) error {
+	if i < 0 || i >= len(c.p) || j < 0 || j >= len(c.p) {
+		return fmt.Errorf("markov: transition (%d,%d) out of range [0,%d)", i, j, len(c.p))
+	}
+	if prob < 0 || prob > 1 || math.IsNaN(prob) {
+		return fmt.Errorf("markov: transition probability %g outside [0,1]", prob)
+	}
+	c.p[i][j] = prob
+	return nil
+}
+
+// Prob returns P[i→j].
+func (c *Chain) Prob(i, j int) float64 { return c.p[i][j] }
+
+// Validate checks that every row sums to 1 within tolerance.
+func (c *Chain) Validate() error {
+	for i, row := range c.p {
+		sum := 0.0
+		for _, v := range row {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("%w: row %d (%s) sums to %.12g", ErrNotStochastic, i, c.names[i], sum)
+		}
+	}
+	return nil
+}
+
+// successors returns the states reachable from i in one step with positive
+// probability.
+func (c *Chain) successors(i int) []int {
+	var out []int
+	for j, v := range c.p[i] {
+		if v > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// IsIrreducible reports whether every state can reach every other state.
+func (c *Chain) IsIrreducible() bool {
+	n := len(c.p)
+	reach := func(start int, edge func(u, v int) bool) int {
+		seen := make([]bool, n)
+		seen[start] = true
+		queue := []int{start}
+		count := 1
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if !seen[v] && edge(u, v) {
+					seen[v] = true
+					count++
+					queue = append(queue, v)
+				}
+			}
+		}
+		return count
+	}
+	fwd := reach(0, func(u, v int) bool { return c.p[u][v] > 0 })
+	bwd := reach(0, func(u, v int) bool { return c.p[v][u] > 0 })
+	return fwd == n && bwd == n
+}
+
+// Period returns the period of the chain, assuming irreducibility (all
+// states of an irreducible chain share one period). A period of 1 means
+// aperiodic. It returns an error when the chain is not irreducible.
+func (c *Chain) Period() (int, error) {
+	if !c.IsIrreducible() {
+		return 0, ErrNotIrreducible
+	}
+	// BFS levels from state 0; the period is the gcd of
+	// level(u) + 1 − level(v) over all edges u→v.
+	n := len(c.p)
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range c.successors(u) {
+			if level[v] < 0 {
+				level[v] = level[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	g := 0
+	for u := 0; u < n; u++ {
+		for _, v := range c.successors(u) {
+			d := level[u] + 1 - level[v]
+			if d < 0 {
+				d = -d
+			}
+			g = gcd(g, d)
+		}
+	}
+	if g == 0 {
+		g = 1
+	}
+	return g, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// IsErgodic reports whether the chain is irreducible and aperiodic — the
+// properties the paper asserts for C_F and C_{F‖P} (Section V-A).
+func (c *Chain) IsErgodic() bool {
+	p, err := c.Period()
+	return err == nil && p == 1
+}
+
+// Step returns the distribution after one step: out = in · P.
+func (c *Chain) Step(in []float64) []float64 {
+	n := len(c.p)
+	out := make([]float64, n)
+	for i, pi := range in {
+		if pi == 0 {
+			continue
+		}
+		row := c.p[i]
+		for j, pij := range row {
+			if pij > 0 {
+				out[j] += pi * pij
+			}
+		}
+	}
+	return out
+}
+
+// StationaryPower computes the stationary distribution by power iteration
+// from the uniform distribution, stopping when successive iterates are
+// within tol in total variation, or after maxIter steps.
+func (c *Chain) StationaryPower(tol float64, maxIter int) ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		tol = 1e-13
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	n := len(c.p)
+	cur := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	for it := 0; it < maxIter; it++ {
+		next := c.Step(cur)
+		if TotalVariation(cur, next) < tol {
+			return next, nil
+		}
+		cur = next
+	}
+	return nil, fmt.Errorf("markov: power iteration did not converge in %d steps", maxIter)
+}
+
+// StationaryDirect computes the stationary distribution by solving the
+// linear system π(P − I) = 0 together with Σπ = 1 via Gaussian elimination
+// with partial pivoting. It is exact up to float rounding and independent
+// of mixing speed; BenchmarkStationaryMethods compares it with power
+// iteration.
+func (c *Chain) StationaryDirect() ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(c.p)
+	// Build Aᵀ x = b where rows are (P − I) columns, and the last equation
+	// is replaced by the normalization Σπ = 1.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = c.p[j][i] // transpose
+			if i == j {
+				a[i][j] -= 1
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	b[n-1] = 1
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			return nil, fmt.Errorf("markov: singular system at column %d (chain may be reducible)", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[i][k] * x[k]
+		}
+		x[i] = s / a[i][i]
+	}
+	// Clean tiny negatives from rounding and renormalize.
+	sum := 0.0
+	for i := range x {
+		if x[i] < 0 && x[i] > -1e-12 {
+			x[i] = 0
+		}
+		sum += x[i]
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return nil, fmt.Errorf("markov: direct solve produced mass %g", sum)
+	}
+	for i := range x {
+		x[i] /= sum
+	}
+	return x, nil
+}
+
+// TotalVariation returns ½ Σ|p_i − q_i|, the total-variation distance
+// between two distributions on the same state space.
+func TotalVariation(p, q []float64) float64 {
+	s := 0.0
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2
+}
+
+// MixingTime returns the smallest t such that from every deterministic
+// start the distribution after t steps is within eps of stationary in
+// total variation — the quantity τ(ε, ᾱ, Δ) in Inequality (47). It scans up
+// to maxSteps and errors out if mixing is slower.
+func (c *Chain) MixingTime(eps float64, maxSteps int) (int, error) {
+	pi, err := c.StationaryDirect()
+	if err != nil {
+		return 0, err
+	}
+	n := len(c.p)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		rows[i][i] = 1
+	}
+	for t := 1; t <= maxSteps; t++ {
+		worst := 0.0
+		for i := range rows {
+			rows[i] = c.Step(rows[i])
+			if tv := TotalVariation(rows[i], pi); tv > worst {
+				worst = tv
+			}
+		}
+		if worst <= eps {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("markov: TV distance still above %g after %d steps", eps, maxSteps)
+}
+
+// Walk simulates steps transitions starting from state start and returns
+// the visited states (length steps+1 including the start).
+func (c *Chain) Walk(r *rng.Stream, start, steps int) ([]int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if start < 0 || start >= len(c.p) {
+		return nil, fmt.Errorf("markov: start state %d out of range", start)
+	}
+	path := make([]int, steps+1)
+	path[0] = start
+	cur := start
+	for s := 1; s <= steps; s++ {
+		u := r.Float64()
+		cum := 0.0
+		next := len(c.p) - 1
+		for j, pj := range c.p[cur] {
+			cum += pj
+			if u < cum {
+				next = j
+				break
+			}
+		}
+		cur = next
+		path[s] = cur
+	}
+	return path, nil
+}
+
+// VisitFrequencies simulates a walk of length steps and returns the
+// empirical fraction of time spent in each state (excluding the start).
+func (c *Chain) VisitFrequencies(r *rng.Stream, start, steps int) ([]float64, error) {
+	path, err := c.Walk(r, start, steps)
+	if err != nil {
+		return nil, err
+	}
+	freq := make([]float64, len(c.p))
+	for _, s := range path[1:] {
+		freq[s]++
+	}
+	for i := range freq {
+		freq[i] /= float64(steps)
+	}
+	return freq, nil
+}
+
+// PiNorm returns ‖φ‖_π = sqrt(Σ φ_i²/π_i), the norm appearing in
+// Inequality (47) of the paper (Chernoff–Hoeffding bounds for Markov
+// chains). Entries where π_i = 0 and φ_i > 0 yield +Inf.
+func PiNorm(phi, pi []float64) float64 {
+	s := 0.0
+	for i := range phi {
+		if phi[i] == 0 {
+			continue
+		}
+		if pi[i] == 0 {
+			return math.Inf(1)
+		}
+		s += phi[i] * phi[i] / pi[i]
+	}
+	return math.Sqrt(s)
+}
+
+// PiNormUpperBound returns 1/√(min π), the Proposition-1 bound on ‖φ‖_π
+// valid for any initial distribution φ.
+func PiNormUpperBound(pi []float64) float64 {
+	minPi := math.Inf(1)
+	for _, v := range pi {
+		if v < minPi {
+			minPi = v
+		}
+	}
+	if minPi <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / math.Sqrt(minPi)
+}

@@ -1,0 +1,323 @@
+package markov
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neatbound/internal/rng"
+)
+
+// twoState returns the classic two-state chain with P[0→1]=a, P[1→0]=b,
+// whose stationary distribution is (b/(a+b), a/(a+b)).
+func twoState(t *testing.T, a, b float64) *Chain {
+	t.Helper()
+	c, err := NewChain(2, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSet := func(i, j int, p float64) {
+		if err := c.SetTransition(i, j, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet(0, 0, 1-a)
+	mustSet(0, 1, a)
+	mustSet(1, 0, b)
+	mustSet(1, 1, 1-b)
+	return c
+}
+
+func TestNewChainValidation(t *testing.T) {
+	if _, err := NewChain(0); err == nil {
+		t.Error("0-state chain accepted")
+	}
+	if _, err := NewChain(3, "a", "b"); err == nil {
+		t.Error("name count mismatch accepted")
+	}
+	c, err := NewChain(2, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name(0) != "a" || c.Name(1) != "b" {
+		t.Error("names not stored")
+	}
+	if c.Index("b") != 1 || c.Index("zz") != -1 {
+		t.Error("Index lookup wrong")
+	}
+}
+
+func TestSetTransitionValidation(t *testing.T) {
+	c, _ := NewChain(2)
+	if err := c.SetTransition(2, 0, 0.5); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := c.SetTransition(0, 0, -0.1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if err := c.SetTransition(0, 0, 1.5); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if err := c.SetTransition(0, 0, math.NaN()); err == nil {
+		t.Error("NaN probability accepted")
+	}
+}
+
+func TestValidateRowSums(t *testing.T) {
+	c, _ := NewChain(2)
+	_ = c.SetTransition(0, 0, 0.5)
+	if err := c.Validate(); !errors.Is(err, ErrNotStochastic) {
+		t.Errorf("want ErrNotStochastic, got %v", err)
+	}
+	c = twoState(t, 0.3, 0.4)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	a, b := 0.3, 0.7
+	c := twoState(t, a, b)
+	want := []float64{b / (a + b), a / (a + b)}
+	power, err := c.StationaryPower(1e-14, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := c.StationaryDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(power[i]-want[i]) > 1e-10 {
+			t.Errorf("power π[%d] = %.15g, want %.15g", i, power[i], want[i])
+		}
+		if math.Abs(direct[i]-want[i]) > 1e-12 {
+			t.Errorf("direct π[%d] = %.15g, want %.15g", i, direct[i], want[i])
+		}
+	}
+}
+
+func TestStationaryFixedPoint(t *testing.T) {
+	c := twoState(t, 0.2, 0.5)
+	pi, err := c.StationaryDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := c.Step(pi)
+	if tv := TotalVariation(pi, next); tv > 1e-12 {
+		t.Errorf("πP differs from π by TV %g", tv)
+	}
+}
+
+func TestQuickStationaryProperties(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a := 0.01 + 0.98*float64(aRaw)/65535
+		b := 0.01 + 0.98*float64(bRaw)/65535
+		c, err := NewChain(2)
+		if err != nil {
+			return false
+		}
+		_ = c.SetTransition(0, 0, 1-a)
+		_ = c.SetTransition(0, 1, a)
+		_ = c.SetTransition(1, 0, b)
+		_ = c.SetTransition(1, 1, 1-b)
+		pi, err := c.StationaryDirect()
+		if err != nil {
+			return false
+		}
+		sum := pi[0] + pi[1]
+		return math.Abs(sum-1) < 1e-9 && pi[0] >= 0 && pi[1] >= 0 &&
+			TotalVariation(pi, c.Step(pi)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStationaryDirectReducibleFails(t *testing.T) {
+	// Two absorbing states: stationary distribution is not unique, and the
+	// solve must not silently return one.
+	c, _ := NewChain(2)
+	_ = c.SetTransition(0, 0, 1)
+	_ = c.SetTransition(1, 1, 1)
+	if _, err := c.StationaryDirect(); err == nil {
+		t.Error("reducible chain produced a unique stationary distribution")
+	}
+}
+
+func TestIsIrreducible(t *testing.T) {
+	if !twoState(t, 0.3, 0.4).IsIrreducible() {
+		t.Error("connected two-state chain reported reducible")
+	}
+	c, _ := NewChain(2)
+	_ = c.SetTransition(0, 0, 1)
+	_ = c.SetTransition(1, 0, 1)
+	if c.IsIrreducible() {
+		t.Error("chain with unreachable state reported irreducible")
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	// Deterministic 3-cycle has period 3.
+	c, _ := NewChain(3)
+	_ = c.SetTransition(0, 1, 1)
+	_ = c.SetTransition(1, 2, 1)
+	_ = c.SetTransition(2, 0, 1)
+	p, err := c.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 3 {
+		t.Errorf("period = %d, want 3", p)
+	}
+	if c.IsErgodic() {
+		t.Error("periodic chain reported ergodic")
+	}
+	// Self-loop makes it aperiodic.
+	c2 := twoState(t, 0.3, 0.4)
+	if p, _ := c2.Period(); p != 1 {
+		t.Errorf("lazy chain period = %d", p)
+	}
+	if !c2.IsErgodic() {
+		t.Error("ergodic chain not recognized")
+	}
+}
+
+func TestPeriodRequiresIrreducible(t *testing.T) {
+	c, _ := NewChain(2)
+	_ = c.SetTransition(0, 0, 1)
+	_ = c.SetTransition(1, 1, 1)
+	if _, err := c.Period(); !errors.Is(err, ErrNotIrreducible) {
+		t.Errorf("want ErrNotIrreducible, got %v", err)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if tv := TotalVariation(p, q); tv != 1 {
+		t.Errorf("TV of disjoint point masses = %g, want 1", tv)
+	}
+	if tv := TotalVariation(p, p); tv != 0 {
+		t.Errorf("TV(p,p) = %g", tv)
+	}
+}
+
+func TestMixingTime(t *testing.T) {
+	fast := twoState(t, 0.5, 0.5) // mixes in one step
+	tm, err := fast.MixingTime(1e-3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm != 1 {
+		t.Errorf("fast chain mixing time = %d, want 1", tm)
+	}
+	slow := twoState(t, 0.01, 0.01)
+	ts, err := slow.MixingTime(1e-3, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts <= tm {
+		t.Errorf("slow chain mixed in %d ≤ fast %d", ts, tm)
+	}
+}
+
+func TestMixingTimeExhausted(t *testing.T) {
+	slow := twoState(t, 1e-6, 1e-6)
+	if _, err := slow.MixingTime(1e-9, 3); err == nil {
+		t.Error("expected mixing-time exhaustion error")
+	}
+}
+
+func TestWalkVisitFrequencies(t *testing.T) {
+	a, b := 0.3, 0.7
+	c := twoState(t, a, b)
+	freq, err := c.VisitFrequencies(rng.New(42), 0, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{b / (a + b), a / (a + b)}
+	for i := range want {
+		if math.Abs(freq[i]-want[i]) > 0.01 {
+			t.Errorf("empirical freq[%d] = %g, want %g", i, freq[i], want[i])
+		}
+	}
+}
+
+func TestWalkValidation(t *testing.T) {
+	c := twoState(t, 0.3, 0.4)
+	if _, err := c.Walk(rng.New(1), 5, 10); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+	bad, _ := NewChain(2)
+	if _, err := bad.Walk(rng.New(1), 0, 10); err == nil {
+		t.Error("non-stochastic chain accepted for walk")
+	}
+}
+
+func TestWalkLengthAndSupport(t *testing.T) {
+	c := twoState(t, 0.3, 0.4)
+	path, err := c.Walk(rng.New(9), 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 51 || path[0] != 1 {
+		t.Fatalf("path length %d start %d", len(path), path[0])
+	}
+	for _, s := range path {
+		if s < 0 || s > 1 {
+			t.Fatalf("state %d out of range", s)
+		}
+	}
+}
+
+func TestPiNorm(t *testing.T) {
+	pi := []float64{0.25, 0.75}
+	phi := []float64{1, 0} // point mass on the rarer state
+	want := math.Sqrt(1 / 0.25)
+	if got := PiNorm(phi, pi); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PiNorm = %g, want %g", got, want)
+	}
+	// Proposition 1: any initial distribution is bounded by 1/√min π.
+	bound := PiNormUpperBound(pi)
+	if got := PiNorm(phi, pi); got > bound+1e-12 {
+		t.Errorf("PiNorm %g exceeds Proposition-1 bound %g", got, bound)
+	}
+	if got := PiNorm([]float64{0.5, 0.5}, pi); got > bound+1e-12 {
+		t.Errorf("uniform PiNorm %g exceeds bound %g", got, bound)
+	}
+}
+
+func TestPiNormZeroStationary(t *testing.T) {
+	if !math.IsInf(PiNorm([]float64{1, 0}, []float64{0, 1}), 1) {
+		t.Error("φ mass on π-null state should give +Inf")
+	}
+	if !math.IsInf(PiNormUpperBound([]float64{0, 1}), 1) {
+		t.Error("zero min π should give +Inf bound")
+	}
+}
+
+func BenchmarkStationaryPower(b *testing.B) {
+	s, err := NewSuffixChain(0.1, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Chain().StationaryPower(1e-12, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStationaryDirect(b *testing.B) {
+	s, err := NewSuffixChain(0.1, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Chain().StationaryDirect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

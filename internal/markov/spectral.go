@@ -1,0 +1,119 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file estimates the spectral gap of a finite chain and relates it
+// to the mixing time τ(ε) used in Inequality (47). For an ergodic chain
+// with second-largest eigenvalue modulus λ₂, the standard bounds give
+//
+//	τ(ε) ≤ log(1/(ε·min π)) / (1−λ₂)      (upper bound)
+//	τ(ε) ≥ (λ₂/(1−λ₂))·log(1/(2ε))        (lower bound)
+//
+// so the gap 1−λ₂ is the chain's intrinsic convergence rate. The gap is
+// estimated by power iteration on the transition operator restricted to
+// the space orthogonal (in the π-weighted sense) to the stationary
+// vector.
+
+// SpectralGap estimates 1−λ₂, where λ₂ is the second-largest eigenvalue
+// modulus of the chain. It runs deflated power iteration for at most
+// maxIter steps with the given tolerance on successive eigenvalue
+// estimates.
+func (c *Chain) SpectralGap(tol float64, maxIter int) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	pi, err := c.StationaryDirect()
+	if err != nil {
+		return 0, err
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	n := len(c.p)
+	if n == 1 {
+		return 1, nil // trivial chain mixes instantly
+	}
+	// Start from a deterministic non-uniform vector, deflate the
+	// stationary component (right eigenvector of Pᵀ is π; left eigenvector
+	// of P for eigenvalue 1 is the all-ones vector — we iterate row
+	// vectors x ↦ xP and remove the π component).
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i + 1)) // arbitrary, reproducible, non-degenerate
+	}
+	deflate := func(v []float64) {
+		// Remove the component along π: subtract (Σv)·π so Σv = 0.
+		sum := 0.0
+		for _, t := range v {
+			sum += t
+		}
+		for i := range v {
+			v[i] -= sum * pi[i]
+		}
+	}
+	norm := func(v []float64) float64 {
+		s := 0.0
+		for _, t := range v {
+			s += t * t
+		}
+		return math.Sqrt(s)
+	}
+	deflate(x)
+	if norm(x) == 0 {
+		return 0, fmt.Errorf("markov: degenerate start vector")
+	}
+	prev := 0.0
+	lambda := 0.0
+	for it := 0; it < maxIter; it++ {
+		nx := norm(x)
+		if nx < 1e-280 {
+			// x is collapsing: λ₂ is effectively 0 (instant mixing on the
+			// orthogonal complement).
+			return 1, nil
+		}
+		for i := range x {
+			x[i] /= nx
+		}
+		y := c.Step(x)
+		deflate(y)
+		lambda = norm(y) // ‖xP‖/‖x‖ with ‖x‖=1 estimates |λ₂|
+		x = y
+		if it > 10 && math.Abs(lambda-prev) < tol {
+			break
+		}
+		prev = lambda
+	}
+	if lambda > 1 {
+		lambda = 1
+	}
+	return 1 - lambda, nil
+}
+
+// MixingTimeUpperBoundFromGap returns the spectral upper bound
+// log(1/(ε·min π)) / gap on τ(ε).
+func MixingTimeUpperBoundFromGap(gap, eps, minPi float64) (float64, error) {
+	if gap <= 0 || gap > 1 {
+		return 0, fmt.Errorf("markov: gap %g outside (0, 1]", gap)
+	}
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("markov: ε %g outside (0, 1)", eps)
+	}
+	if minPi <= 0 || minPi > 1 {
+		return 0, fmt.Errorf("markov: min π %g outside (0, 1]", minPi)
+	}
+	return math.Log(1/(eps*minPi)) / gap, nil
+}
+
+// RelaxationTime returns 1/gap, the chain's relaxation time.
+func RelaxationTime(gap float64) (float64, error) {
+	if gap <= 0 || gap > 1 {
+		return 0, fmt.Errorf("markov: gap %g outside (0, 1]", gap)
+	}
+	return 1 / gap, nil
+}

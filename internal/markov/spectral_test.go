@@ -1,0 +1,143 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// twoStateChain builds the chain with P[0→1]=a, P[1→0]=b, whose
+// second eigenvalue is exactly 1−a−b.
+func twoStateChain(t *testing.T, a, b float64) *Chain {
+	t.Helper()
+	c, err := NewChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetTransition(0, 0, 1-a)
+	_ = c.SetTransition(0, 1, a)
+	_ = c.SetTransition(1, 0, b)
+	_ = c.SetTransition(1, 1, 1-b)
+	return c
+}
+
+func TestSpectralGapTwoStateExact(t *testing.T) {
+	cases := []struct{ a, b float64 }{
+		{0.3, 0.4}, {0.1, 0.1}, {0.5, 0.5}, {0.9, 0.8},
+	}
+	for _, cse := range cases {
+		c := twoStateChain(t, cse.a, cse.b)
+		gap, err := c.SpectralGap(1e-13, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Min(1, cse.a+cse.b) // gap = 1−|1−a−b| for a+b ≤ 1
+		lambda2 := math.Abs(1 - cse.a - cse.b)
+		want = 1 - lambda2
+		if math.Abs(gap-want) > 1e-8 {
+			t.Errorf("a=%g b=%g: gap = %.12g, want %.12g", cse.a, cse.b, gap, want)
+		}
+	}
+}
+
+func TestSpectralGapSingleState(t *testing.T) {
+	c, err := NewChain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetTransition(0, 0, 1)
+	gap, err := c.SpectralGap(0, 0)
+	if err != nil || gap != 1 {
+		t.Errorf("gap = %g, %v; want 1", gap, err)
+	}
+}
+
+func TestSpectralGapValidation(t *testing.T) {
+	c, _ := NewChain(2) // rows not stochastic
+	if _, err := c.SpectralGap(0, 0); err == nil {
+		t.Error("non-stochastic chain accepted")
+	}
+}
+
+func TestSpectralGapSuffixChain(t *testing.T) {
+	// For C_F the gap must be a valid rate in (0, 1] at every Δ. (It is
+	// NOT monotone in Δ: the subdominant eigenvalues of the cyclic
+	// N-run structure move non-monotonically.)
+	for _, delta := range []int{1, 2, 4, 8, 16} {
+		s, err := NewSuffixChain(0.2, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap, err := s.Chain().SpectralGap(1e-12, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap <= 0 || gap > 1 {
+			t.Fatalf("Δ=%d: gap %g outside (0,1]", delta, gap)
+		}
+	}
+}
+
+// TestGapBoundsMixingTime cross-validates the spectral bound against the
+// directly computed τ(1/8) for the suffix chain.
+func TestGapBoundsMixingTime(t *testing.T) {
+	s, err := NewSuffixChain(0.25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, err := s.Chain().SpectralGap(1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, err := s.Chain().MixingTime(0.125, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub, err := MixingTimeUpperBoundFromGap(gap, 0.125, s.MinStationary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(tau) > ub+1 {
+		t.Errorf("τ(1/8) = %d exceeds spectral upper bound %g", tau, ub)
+	}
+}
+
+func TestMixingTimeUpperBoundFromGapValidation(t *testing.T) {
+	if _, err := MixingTimeUpperBoundFromGap(0, 0.1, 0.1); err == nil {
+		t.Error("gap=0 accepted")
+	}
+	if _, err := MixingTimeUpperBoundFromGap(0.5, 0, 0.1); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	if _, err := MixingTimeUpperBoundFromGap(0.5, 0.1, 0); err == nil {
+		t.Error("minπ=0 accepted")
+	}
+	v, err := MixingTimeUpperBoundFromGap(0.5, 0.125, 0.01)
+	if err != nil || v <= 0 {
+		t.Errorf("bound = %g, %v", v, err)
+	}
+}
+
+func TestRelaxationTime(t *testing.T) {
+	v, err := RelaxationTime(0.25)
+	if err != nil || v != 4 {
+		t.Errorf("relaxation = %g, %v; want 4", v, err)
+	}
+	if _, err := RelaxationTime(0); err == nil {
+		t.Error("gap=0 accepted")
+	}
+	if _, err := RelaxationTime(1.5); err == nil {
+		t.Error("gap>1 accepted")
+	}
+}
+
+func BenchmarkSpectralGapSuffix(b *testing.B) {
+	s, err := NewSuffixChain(0.2, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Chain().SpectralGap(1e-10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

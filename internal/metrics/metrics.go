@@ -1,0 +1,129 @@
+// Package metrics computes the chain-growth and chain-quality properties
+// surveyed in the paper's Section II (related work), plus fork statistics.
+// They complement the consistency property: chain growth g means honest
+// chains grow by at least T blocks every T/g rounds; chain quality q means
+// any T consecutive blocks of an honest chain contain at least a q
+// fraction of honest blocks.
+package metrics
+
+import (
+	"fmt"
+
+	"neatbound/internal/blockchain"
+	"neatbound/internal/engine"
+)
+
+// ChainGrowthRate returns the average growth of the maximum honest chain
+// height per round over the run — the empirical g.
+func ChainGrowthRate(records []engine.RoundRecord) float64 {
+	if len(records) == 0 {
+		return 0
+	}
+	first := records[0].MaxHonestHeight
+	last := records[len(records)-1].MaxHonestHeight
+	return float64(last-first) / float64(len(records))
+}
+
+// MinWindowGrowth returns the minimum honest-chain growth over any span of
+// `window` rounds (i.e. across window steps between records), the quantity
+// chain-growth statements quantify over.
+func MinWindowGrowth(records []engine.RoundRecord, window int) (int, error) {
+	if window < 1 || window >= len(records) {
+		return 0, fmt.Errorf("metrics: window %d outside [1, %d)", window, len(records))
+	}
+	min := records[window].MaxHonestHeight - records[0].MaxHonestHeight
+	for i := window + 1; i < len(records); i++ {
+		g := records[i].MaxHonestHeight - records[i-window].MaxHonestHeight
+		if g < min {
+			min = g
+		}
+	}
+	return min, nil
+}
+
+// ChainQuality returns the fraction of honest blocks among the last k
+// blocks of the chain ending at tip (excluding genesis). k larger than the
+// chain is truncated to the whole chain.
+func ChainQuality(tree *blockchain.Tree, tip blockchain.BlockID, k int) (float64, error) {
+	chain, err := tree.Chain(tip)
+	if err != nil {
+		return 0, fmt.Errorf("metrics: %w", err)
+	}
+	if len(chain) <= 1 {
+		return 1, nil // empty chain: vacuously all honest
+	}
+	blocks := chain[1:] // skip genesis
+	if k > 0 && k < len(blocks) {
+		blocks = blocks[len(blocks)-k:]
+	}
+	honest := 0
+	for _, id := range blocks {
+		b, ok := tree.Get(id)
+		if !ok {
+			return 0, fmt.Errorf("metrics: %w: %d", blockchain.ErrUnknownBlock, id)
+		}
+		if b.Honest {
+			honest++
+		}
+	}
+	return float64(honest) / float64(len(blocks)), nil
+}
+
+// ForkStats summarizes the shape of the block tree.
+type ForkStats struct {
+	// Blocks is the total number of non-genesis blocks.
+	Blocks int
+	// ForkPoints is the number of blocks (incl. genesis) with ≥ 2
+	// children.
+	ForkPoints int
+	// MaxHeight is the height of the tallest block.
+	MaxHeight int
+	// MainChainBlocks is the number of non-genesis blocks on the chain to
+	// the highest tip (ties broken by lowest ID).
+	MainChainBlocks int
+	// Orphans is Blocks − MainChainBlocks.
+	Orphans int
+}
+
+// ComputeForkStats scans the tree.
+func ComputeForkStats(tree *blockchain.Tree) ForkStats {
+	st := ForkStats{
+		Blocks:    tree.Len() - 1,
+		MaxHeight: tree.MaxHeight(),
+	}
+	// Fork points: walk the tree from genesis.
+	var walk func(id blockchain.BlockID)
+	walk = func(id blockchain.BlockID) {
+		kids := tree.Children(id)
+		if len(kids) >= 2 {
+			st.ForkPoints++
+		}
+		for _, k := range kids {
+			walk(k)
+		}
+	}
+	walk(blockchain.GenesisID)
+	tips := tree.Tips()
+	best := tips[len(tips)-1]
+	st.MainChainBlocks = mustHeight(tree, best)
+	st.Orphans = st.Blocks - st.MainChainBlocks
+	return st
+}
+
+func mustHeight(tree *blockchain.Tree, id blockchain.BlockID) int {
+	h, err := tree.Height(id)
+	if err != nil {
+		return 0
+	}
+	return h
+}
+
+// MainChainShare returns the fraction of all mined blocks that lie on the
+// main chain — a fork-rate summary in [0, 1].
+func MainChainShare(tree *blockchain.Tree) float64 {
+	st := ComputeForkStats(tree)
+	if st.Blocks == 0 {
+		return 1
+	}
+	return float64(st.MainChainBlocks) / float64(st.Blocks)
+}

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"neatbound/internal/blockchain"
+	"neatbound/internal/engine"
+	"neatbound/internal/params"
+)
+
+func TestChainGrowthRate(t *testing.T) {
+	records := []engine.RoundRecord{
+		{Round: 1, MaxHonestHeight: 0},
+		{Round: 2, MaxHonestHeight: 1},
+		{Round: 3, MaxHonestHeight: 1},
+		{Round: 4, MaxHonestHeight: 3},
+	}
+	if got := ChainGrowthRate(records); math.Abs(got-0.75) > 1e-15 {
+		t.Errorf("growth = %g, want 0.75", got)
+	}
+	if got := ChainGrowthRate(nil); got != 0 {
+		t.Errorf("empty growth = %g", got)
+	}
+}
+
+func TestMinWindowGrowth(t *testing.T) {
+	records := []engine.RoundRecord{
+		{MaxHonestHeight: 0}, {MaxHonestHeight: 2}, {MaxHonestHeight: 2},
+		{MaxHonestHeight: 3}, {MaxHonestHeight: 6},
+	}
+	got, err := MinWindowGrowth(records, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-round spans: h[2]−h[0]=2, h[3]−h[1]=1, h[4]−h[2]=4 → min 1.
+	if got != 1 {
+		t.Errorf("min window growth = %d, want 1", got)
+	}
+	one, err := MinWindowGrowth(records, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-round spans: 2,0,1,3 → min 0.
+	if one != 0 {
+		t.Errorf("min 1-round growth = %d, want 0", one)
+	}
+	if _, err := MinWindowGrowth(records, 0); err == nil {
+		t.Error("window 0 accepted")
+	}
+	if _, err := MinWindowGrowth(records, 5); err == nil {
+		t.Error("window >= len accepted")
+	}
+}
+
+// qualityTree: genesis → h1 → a2 → h3 → a4 with honest flags [t,f,t,f].
+func qualityTree(t *testing.T) *blockchain.Tree {
+	t.Helper()
+	tree := blockchain.NewTree()
+	add := func(id, parent blockchain.BlockID, honest bool) {
+		t.Helper()
+		if err := tree.Add(&blockchain.Block{ID: id, Parent: parent, Honest: honest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1, blockchain.GenesisID, true)
+	add(2, 1, false)
+	add(3, 2, true)
+	add(4, 3, false)
+	return tree
+}
+
+func TestChainQuality(t *testing.T) {
+	tree := qualityTree(t)
+	q, err := ChainQuality(tree, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-0.5) > 1e-15 {
+		t.Errorf("full-chain quality = %g, want 0.5", q)
+	}
+	// Last 2 blocks: h3, a4 → 0.5. Last 1: a4 → 0.
+	q, _ = ChainQuality(tree, 4, 1)
+	if q != 0 {
+		t.Errorf("last-1 quality = %g, want 0", q)
+	}
+	q, _ = ChainQuality(tree, 4, 3)
+	if math.Abs(q-1.0/3) > 1e-15 {
+		t.Errorf("last-3 quality = %g, want 1/3", q)
+	}
+	// k beyond the chain truncates.
+	q, _ = ChainQuality(tree, 4, 99)
+	if math.Abs(q-0.5) > 1e-15 {
+		t.Errorf("k>len quality = %g, want 0.5", q)
+	}
+}
+
+func TestChainQualityGenesisOnly(t *testing.T) {
+	tree := blockchain.NewTree()
+	q, err := ChainQuality(tree, blockchain.GenesisID, 0)
+	if err != nil || q != 1 {
+		t.Errorf("genesis-only quality = %g, %v", q, err)
+	}
+}
+
+func TestChainQualityUnknownTip(t *testing.T) {
+	tree := blockchain.NewTree()
+	if _, err := ChainQuality(tree, 42, 0); err == nil {
+		t.Error("unknown tip accepted")
+	}
+}
+
+func TestForkStats(t *testing.T) {
+	tree := qualityTree(t)
+	// Add a fork at block 1: 1 → 20 → 21.
+	if err := tree.Add(&blockchain.Block{ID: 20, Parent: 1, Honest: false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Add(&blockchain.Block{ID: 21, Parent: 20, Honest: false}); err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeForkStats(tree)
+	if st.Blocks != 6 {
+		t.Errorf("blocks = %d, want 6", st.Blocks)
+	}
+	if st.ForkPoints != 1 {
+		t.Errorf("fork points = %d, want 1 (block 1)", st.ForkPoints)
+	}
+	if st.MaxHeight != 4 {
+		t.Errorf("max height = %d, want 4", st.MaxHeight)
+	}
+	if st.MainChainBlocks != 4 {
+		t.Errorf("main chain blocks = %d, want 4", st.MainChainBlocks)
+	}
+	if st.Orphans != 2 {
+		t.Errorf("orphans = %d, want 2", st.Orphans)
+	}
+	if got := MainChainShare(tree); math.Abs(got-4.0/6) > 1e-15 {
+		t.Errorf("main chain share = %g, want 2/3", got)
+	}
+}
+
+func TestForkStatsGenesisOnly(t *testing.T) {
+	tree := blockchain.NewTree()
+	st := ComputeForkStats(tree)
+	if st.Blocks != 0 || st.ForkPoints != 0 || st.Orphans != 0 {
+		t.Errorf("genesis-only stats = %+v", st)
+	}
+	if MainChainShare(tree) != 1 {
+		t.Error("genesis-only share should be 1")
+	}
+}
+
+// TestGrowthMatchesTheoryHonestRun: with Δ=1 and a passive adversary, the
+// longest chain grows by one whenever anyone mines, so the growth rate
+// approaches P[some block] = 1−(1−p)ⁿ per round.
+func TestGrowthMatchesTheoryHonestRun(t *testing.T) {
+	pr := params.Params{N: 20, P: 0.002, Delta: 1, Nu: 0.25}
+	e, err := engine.New(engine.Config{Params: pr, Rounds: 40000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ChainGrowthRate(res.Records)
+	want := 1 - math.Pow(1-pr.P, float64(pr.N)) // all n mine & publish promptly
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("growth rate %g, want ≈ %g", got, want)
+	}
+}
+
+// TestQualityFairShareHonestRun: with everyone well-behaved, the honest
+// share of main-chain blocks approaches µ.
+func TestQualityFairShareHonestRun(t *testing.T) {
+	pr := params.Params{N: 20, P: 0.002, Delta: 1, Nu: 0.25}
+	e, err := engine.New(engine.Config{Params: pr, Rounds: 40000, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tips := res.Tree.Tips()
+	q, err := ChainQuality(res.Tree, tips[len(tips)-1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-pr.Mu()) > 0.08 {
+		t.Errorf("chain quality %g, want ≈ µ = %g", q, pr.Mu())
+	}
+}
+
+func BenchmarkComputeForkStats(b *testing.B) {
+	tree := blockchain.NewTree()
+	parent := blockchain.GenesisID
+	for i := 1; i <= 5000; i++ {
+		id := blockchain.BlockID(i)
+		if err := tree.Add(&blockchain.Block{ID: id, Parent: parent, Honest: i%3 != 0}); err != nil {
+			b.Fatal(err)
+		}
+		parent = id
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeForkStats(tree)
+	}
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+
+	"neatbound/internal/params"
+)
+
+// This file provides the analytic chain-growth and chain-quality
+// baselines from the related work the paper surveys in Section II
+// (Pass–Seeman–Shelat-style bounds). The paper leaves extending its
+// Markov technique to these properties as future work; the simulator
+// validates the classical forms here.
+
+// PredictedGrowthRate returns the worst-case-delay chain-growth lower
+// bound γ = α/(1+Δ·α): an honest success advances the common chain, but
+// the adversary can spend up to Δ rounds hiding it from other honest
+// players, during which further successes may not stack.
+func PredictedGrowthRate(pr params.Params) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, fmt.Errorf("metrics: %w", err)
+	}
+	alpha := pr.Alpha()
+	return alpha / (1 + float64(pr.Delta)*alpha), nil
+}
+
+// PredictedGrowthRateNoDelay returns the no-delay growth rate
+// 1 − (1−p)ⁿ: with immediate delivery and everyone (honest or not)
+// mining and publishing, the chain grows whenever anyone succeeds.
+func PredictedGrowthRateNoDelay(pr params.Params) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, fmt.Errorf("metrics: %w", err)
+	}
+	// All n miners contribute when the adversary behaves honestly.
+	q := 1.0
+	for i := 0; i < pr.N; i++ {
+		q *= 1 - pr.P
+	}
+	return 1 - q, nil
+}
+
+// PredictedQualityLowerBound returns the PSS-style chain-quality floor
+// 1 − β/γ (clamped to [0, 1]), where β = p·ν·n is the adversarial block
+// rate and γ the worst-case growth rate: in the long run at most β/γ of
+// main-chain blocks can be adversarial.
+func PredictedQualityLowerBound(pr params.Params) (float64, error) {
+	gamma, err := PredictedGrowthRate(pr)
+	if err != nil {
+		return 0, err
+	}
+	q := 1 - pr.AdversaryBlockRate()/gamma
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return q, nil
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neatbound/internal/adversary"
+	"neatbound/internal/engine"
+	"neatbound/internal/params"
+)
+
+func TestPredictedGrowthRateForm(t *testing.T) {
+	pr := params.Params{N: 100, P: 0.001, Delta: 4, Nu: 0.25}
+	got, err := PredictedGrowthRate(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := pr.Alpha()
+	want := alpha / (1 + 4*alpha)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("γ = %g, want %g", got, want)
+	}
+	if _, err := PredictedGrowthRate(params.Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestQuickGrowthRateBelowAlpha(t *testing.T) {
+	// γ ≤ α always, approaching α as Δ·α → 0.
+	f := func(pRaw uint16, dRaw uint8) bool {
+		p := 1e-6 + 0.01*float64(pRaw)/65535
+		delta := int(dRaw%50) + 1
+		pr := params.Params{N: 100, P: p, Delta: delta, Nu: 0.25}
+		g, err := PredictedGrowthRate(pr)
+		if err != nil {
+			return false
+		}
+		return g > 0 && g <= pr.Alpha()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictedGrowthRateNoDelay(t *testing.T) {
+	pr := params.Params{N: 50, P: 0.01, Delta: 1, Nu: 0.25}
+	got, err := PredictedGrowthRateNoDelay(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(0.99, 50)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("no-delay γ = %g, want %g", got, want)
+	}
+	if _, err := PredictedGrowthRateNoDelay(params.Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestPredictedQualityLowerBound(t *testing.T) {
+	pr := params.Params{N: 100, P: 0.001, Delta: 4, Nu: 0.25}
+	q, err := PredictedQualityLowerBound(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, _ := PredictedGrowthRate(pr)
+	want := 1 - pr.AdversaryBlockRate()/gamma
+	if math.Abs(q-want) > 1e-15 {
+		t.Errorf("quality floor %g, want %g", q, want)
+	}
+	// Overwhelming adversary clamps to 0.
+	heavy, err := PredictedQualityLowerBound(params.Params{N: 100, P: 0.04, Delta: 50, Nu: 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy != 0 {
+		t.Errorf("heavy-adversary floor %g, want 0", heavy)
+	}
+	if _, err := PredictedQualityLowerBound(params.Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestGrowthBoundHoldsUnderMaxDelay: the empirical growth under the
+// worst-case scheduling adversary must stay at or above γ = α/(1+Δα)
+// (within statistical noise).
+func TestGrowthBoundHoldsUnderMaxDelay(t *testing.T) {
+	pr := params.Params{N: 50, P: 0.002, Delta: 4, Nu: 0.25}
+	e, err := engine.New(engine.Config{Params: pr, Rounds: 50000, Seed: 31, Adversary: adversary.MaxDelay{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ChainGrowthRate(res.Records)
+	gamma, err := PredictedGrowthRate(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < gamma*0.95 {
+		t.Errorf("empirical growth %g below γ bound %g", got, gamma)
+	}
+}
+
+// TestGrowthMatchesNoDelayPrediction: with Δ=1 and a passive adversary the
+// growth rate should be close to 1−(1−p)ⁿ (not just above it).
+func TestGrowthMatchesNoDelayPrediction(t *testing.T) {
+	pr := params.Params{N: 50, P: 0.001, Delta: 1, Nu: 0.25}
+	e, err := engine.New(engine.Config{Params: pr, Rounds: 60000, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ChainGrowthRate(res.Records)
+	want, err := PredictedGrowthRateNoDelay(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("growth %g, predicted %g", got, want)
+	}
+}
+
+// TestQualityFloorHoldsUnderSelfish: even the selfish miner cannot push
+// quality below the analytic floor.
+func TestQualityFloorHoldsUnderSelfish(t *testing.T) {
+	pr := params.Params{N: 40, P: 0.002, Delta: 2, Nu: 0.4}
+	e, err := engine.New(engine.Config{Params: pr, Rounds: 40000, Seed: 33, Adversary: &adversary.Selfish{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ChainQuality(res.Tree, res.Tree.Best(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, err := PredictedQualityLowerBound(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < floor*0.95 {
+		t.Errorf("quality %g below analytic floor %g", q, floor)
+	}
+	// And selfish mining must push it below the fair share µ.
+	if q >= pr.Mu() {
+		t.Errorf("quality %g not degraded below fair share %g", q, pr.Mu())
+	}
+}

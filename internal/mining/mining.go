@@ -1,0 +1,161 @@
+// Package mining implements the proof-of-work substrate of Section III.
+//
+// Two equivalent paths are provided:
+//
+//   - Oracle is the literal model: a keyed random function H with a
+//     difficulty target D_p such that a query succeeds with probability p,
+//     plus the verification oracle H.ver. It exists so the protocol can be
+//     exercised against a "real" hash puzzle and so tests can confirm the
+//     statistical path below is faithful.
+//
+//   - MineRound is the statistical path the engine uses at scale: since
+//     each of the k miners makes one independent query per round, the
+//     number of successes is binom(k, p); the successful miner identities
+//     are then a uniform k-subset. Sampling the binomial directly avoids
+//     looping over 10⁵ miners per round (see
+//     BenchmarkMiningAggregateVsLoop).
+//
+// Block IDs are allocated by IDAllocator so that every mined block gets a
+// unique non-genesis ID.
+package mining
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"neatbound/internal/blockchain"
+	"neatbound/internal/dist"
+	"neatbound/internal/rng"
+)
+
+// Oracle is the random function H with hardness p: Query succeeds iff the
+// 64-bit keyed hash of (parent, nonce, payload) falls below the difficulty
+// target D_p = p·2⁶⁴.
+type Oracle struct {
+	p      float64
+	target uint64
+	key    uint64
+}
+
+// NewOracle returns an oracle with the given hardness p ∈ (0, 1) and key
+// (the random-function seed shared by all players).
+func NewOracle(p float64, key uint64) (*Oracle, error) {
+	if !(p > 0 && p < 1) {
+		return nil, fmt.Errorf("mining: hardness p = %g outside (0, 1)", p)
+	}
+	// D_p = p·2⁶⁴, computed via Ldexp; p < 1 keeps it below 2⁶⁴.
+	t := math.Ldexp(p, 64)
+	target := uint64(t)
+	if target == 0 {
+		target = 1 // p so small it underflows: keep puzzles solvable
+	}
+	return &Oracle{p: p, target: target, key: key}, nil
+}
+
+// P returns the oracle's hardness.
+func (o *Oracle) P() float64 { return o.p }
+
+// Hash evaluates the keyed random function on (parent, nonce, payload).
+func (o *Oracle) Hash(parent blockchain.BlockID, nonce uint64, payload string) uint64 {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(parent))
+	binary.LittleEndian.PutUint64(buf[8:16], nonce)
+	// FNV-1a over the fixed header then the payload, keyed by o.key.
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ o.key
+	for _, b := range buf {
+		h = (h ^ uint64(b)) * prime
+	}
+	for i := 0; i < len(payload); i++ {
+		h = (h ^ uint64(payload[i])) * prime
+	}
+	// SplitMix64 finalizer to decorrelate low/high bits.
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// Query performs one proof-of-work attempt and reports the hash value and
+// whether it meets the difficulty target.
+func (o *Oracle) Query(parent blockchain.BlockID, nonce uint64, payload string) (uint64, bool) {
+	h := o.Hash(parent, nonce, payload)
+	return h, h < o.target
+}
+
+// Verify implements the verification oracle H.ver: it checks that hash is
+// the correct image of (parent, nonce, payload) and that it meets the
+// target.
+func (o *Oracle) Verify(parent blockchain.BlockID, nonce uint64, payload string, hash uint64) bool {
+	return o.Hash(parent, nonce, payload) == hash && hash < o.target
+}
+
+// MineCount returns the number of blocks mined in one round by count
+// miners each querying once with hardness p — one binom(count, p) draw.
+func MineCount(r *rng.Stream, count int, p float64) int {
+	if count <= 0 {
+		return 0
+	}
+	return dist.Binomial{N: count, P: p}.Sample(r)
+}
+
+// MineRound samples which of the count miners succeed this round. It
+// returns a sorted slice of distinct miner indices in [0, count); the
+// slice length is binom(count, p)-distributed and the identity set is a
+// uniform subset, matching count independent Bernoulli(p) queries.
+func MineRound(r *rng.Stream, count int, p float64) []int {
+	k := MineCount(r, count, p)
+	if k == 0 {
+		return nil
+	}
+	if k == count {
+		out := make([]int, count)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Floyd's algorithm for a uniform k-subset of [0, count).
+	chosen := make(map[int]struct{}, k)
+	for j := count - k; j < count; j++ {
+		v := r.Intn(j + 1)
+		if _, dup := chosen[v]; dup {
+			v = j
+		}
+		chosen[v] = struct{}{}
+	}
+	out := make([]int, 0, k)
+	for v := range chosen {
+		out = append(out, v)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// IDAllocator hands out unique block IDs starting at 1 (genesis is 0). It
+// is safe for concurrent use.
+type IDAllocator struct {
+	next atomic.Uint64
+}
+
+// NewIDAllocator returns an allocator whose first ID is 1.
+func NewIDAllocator() *IDAllocator {
+	return &IDAllocator{}
+}
+
+// Next returns a fresh BlockID.
+func (a *IDAllocator) Next() blockchain.BlockID {
+	return blockchain.BlockID(a.next.Add(1))
+}

@@ -1,0 +1,292 @@
+// Package network implements the asynchronous Δ-delay message model of
+// Pass–Seeman–Shelat that the paper adopts (Section III): the adversary
+// may delay and reorder every message, per recipient, by up to Δ rounds,
+// but cannot modify honest messages and cannot prevent delivery beyond the
+// Δ-th round after sending.
+//
+// Honest broadcasts go through Broadcast, which consults a DelayPolicy
+// (the adversary's scheduling power) and clamps every chosen delivery
+// round into the legal window [sent+1, sent+Δ]. The adversary's own block
+// announcements go through Send, which is unconstrained in time — the
+// adversary controls its corrupted players outright, so withholding a
+// block is modeled as simply not sending it yet.
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"neatbound/internal/blockchain"
+)
+
+// Message is a block announcement in transit.
+type Message struct {
+	// Block is the announced block.
+	Block *blockchain.Block
+	// From is the index of the sending player.
+	From int
+	// SentRound is the round the message entered the network.
+	SentRound int
+}
+
+// DelayPolicy is the adversary's scheduling interface for honest
+// broadcasts: it picks the delivery round for a message to a specific
+// recipient. Returned values outside [SentRound+1, SentRound+Δ] are
+// clamped by the network — the model guarantees delivery within Δ no
+// matter what the policy asks for.
+type DelayPolicy interface {
+	// DeliveryRound returns the round in which recipient should receive m.
+	DeliveryRound(m Message, recipient int) int
+}
+
+// ParallelSafe marks a DelayPolicy whose DeliveryRound is safe to call
+// concurrently. Broadcast fans out across goroutines for such policies
+// when the recipient set is large (the ablation of BenchmarkNetworkFanout).
+type ParallelSafe interface {
+	ParallelSafe()
+}
+
+// MinDelay delivers every honest message at the earliest legal round,
+// sent+1. It models a benign scheduler.
+type MinDelay struct{}
+
+// DeliveryRound implements DelayPolicy.
+func (MinDelay) DeliveryRound(m Message, _ int) int { return m.SentRound + 1 }
+
+// ParallelSafe implements the marker interface.
+func (MinDelay) ParallelSafe() {}
+
+// MaxDelay delays every honest message by the full Δ. It is the adversary
+// scheduling that the paper's convergence-opportunity analysis must (and
+// does) survive.
+type MaxDelay struct {
+	// Delta is the network delay bound.
+	Delta int
+}
+
+// DeliveryRound implements DelayPolicy.
+func (d MaxDelay) DeliveryRound(m Message, _ int) int { return m.SentRound + d.Delta }
+
+// ParallelSafe implements the marker interface.
+func (MaxDelay) ParallelSafe() {}
+
+// HashedDelay assigns each (block, recipient) pair a deterministic
+// pseudo-random delay in [1, Delta]. Being a pure function of its inputs,
+// it is parallel-safe and reproducible.
+type HashedDelay struct {
+	// Delta is the network delay bound.
+	Delta int
+	// Seed perturbs the hash so different executions draw different
+	// schedules.
+	Seed uint64
+}
+
+// DeliveryRound implements DelayPolicy.
+func (d HashedDelay) DeliveryRound(m Message, recipient int) int {
+	h := uint64(m.Block.ID)*0x9e3779b97f4a7c15 ^ uint64(recipient)*0xbf58476d1ce4e5b9 ^ d.Seed
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	span := uint64(d.Delta)
+	if span == 0 {
+		span = 1
+	}
+	return m.SentRound + 1 + int(h%span)
+}
+
+// ParallelSafe implements the marker interface.
+func (HashedDelay) ParallelSafe() {}
+
+// Network is the round-based Δ-delay message fabric. It is not safe for
+// concurrent use; the engine drives it from the round loop.
+type Network struct {
+	players int
+	delta   int
+	// inbox[r][recipient] holds messages scheduled for delivery at round r.
+	inbox map[int]map[int][]Message
+	// pending counts undelivered messages, for invariant checks.
+	pending int
+	// stats
+	sent      int
+	delivered int
+}
+
+// New returns a network connecting players nodes with delay bound delta.
+func New(players, delta int) (*Network, error) {
+	if players < 1 {
+		return nil, fmt.Errorf("network: players = %d must be ≥ 1", players)
+	}
+	if delta < 1 {
+		return nil, fmt.Errorf("network: Δ = %d must be ≥ 1", delta)
+	}
+	return &Network{
+		players: players,
+		delta:   delta,
+		inbox:   map[int]map[int][]Message{},
+	}, nil
+}
+
+// Players returns the number of connected nodes.
+func (n *Network) Players() int { return n.players }
+
+// Delta returns the delay bound Δ.
+func (n *Network) Delta() int { return n.delta }
+
+// Pending returns the number of enqueued, undelivered messages.
+func (n *Network) Pending() int { return n.pending }
+
+// Sent returns the total number of (message, recipient) deliveries
+// scheduled so far.
+func (n *Network) Sent() int { return n.sent }
+
+// Delivered returns the total number of messages handed to recipients.
+func (n *Network) Delivered() int { return n.delivered }
+
+// clampDelivery forces round into the legal window for a message sent at
+// sent.
+func (n *Network) clampDelivery(sent, round int) int {
+	if round < sent+1 {
+		return sent + 1
+	}
+	if round > sent+n.delta {
+		return sent + n.delta
+	}
+	return round
+}
+
+// enqueue schedules m for recipient at round r.
+func (n *Network) enqueue(m Message, recipient, r int) {
+	byRecipient, ok := n.inbox[r]
+	if !ok {
+		byRecipient = map[int][]Message{}
+		n.inbox[r] = byRecipient
+	}
+	byRecipient[recipient] = append(byRecipient[recipient], m)
+	n.pending++
+	n.sent++
+}
+
+// Broadcast schedules m for every player except the sender, at the rounds
+// chosen by policy (clamped into [sent+1, sent+Δ]). m.SentRound must equal
+// the current round, enforced by the caller passing round.
+func (n *Network) Broadcast(m Message, round int, policy DelayPolicy) error {
+	if m.Block == nil {
+		return fmt.Errorf("network: broadcast of nil block")
+	}
+	if m.SentRound != round {
+		return fmt.Errorf("network: message stamped round %d broadcast at round %d", m.SentRound, round)
+	}
+	const parallelThreshold = 4096
+	if _, ok := policy.(ParallelSafe); ok && n.players >= parallelThreshold {
+		n.broadcastParallel(m, policy)
+		return nil
+	}
+	for r := 0; r < n.players; r++ {
+		if r == m.From {
+			continue
+		}
+		n.enqueue(m, r, n.clampDelivery(m.SentRound, policy.DeliveryRound(m, r)))
+	}
+	return nil
+}
+
+// broadcastParallel computes delivery rounds concurrently, then enqueues
+// sequentially (the inbox map is not concurrent).
+func (n *Network) broadcastParallel(m Message, policy DelayPolicy) {
+	rounds := make([]int, n.players)
+	const chunk = 1024
+	type span struct{ lo, hi int }
+	spans := make(chan span)
+	done := make(chan struct{})
+	workers := 4
+	for w := 0; w < workers; w++ {
+		go func() {
+			for s := range spans {
+				for r := s.lo; r < s.hi; r++ {
+					rounds[r] = policy.DeliveryRound(m, r)
+				}
+			}
+			done <- struct{}{}
+		}()
+	}
+	for lo := 0; lo < n.players; lo += chunk {
+		hi := lo + chunk
+		if hi > n.players {
+			hi = n.players
+		}
+		spans <- span{lo, hi}
+	}
+	close(spans)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	for r := 0; r < n.players; r++ {
+		if r == m.From {
+			continue
+		}
+		n.enqueue(m, r, n.clampDelivery(m.SentRound, rounds[r]))
+	}
+}
+
+// Send schedules m for a single recipient at deliverRound. It is the
+// adversary's unconstrained channel: the only restriction is that delivery
+// cannot happen before the next round.
+func (n *Network) Send(m Message, recipient, deliverRound int) error {
+	if m.Block == nil {
+		return fmt.Errorf("network: send of nil block")
+	}
+	if recipient < 0 || recipient >= n.players {
+		return fmt.Errorf("network: recipient %d outside [0, %d)", recipient, n.players)
+	}
+	if deliverRound <= m.SentRound {
+		deliverRound = m.SentRound + 1
+	}
+	n.enqueue(m, recipient, deliverRound)
+	return nil
+}
+
+// DeliverTo removes and returns the messages due for recipient at round,
+// in a deterministic order (by sent round, then block ID, then sender).
+func (n *Network) DeliverTo(recipient, round int) []Message {
+	byRecipient, ok := n.inbox[round]
+	if !ok {
+		return nil
+	}
+	msgs := byRecipient[recipient]
+	if len(msgs) == 0 {
+		return nil
+	}
+	delete(byRecipient, recipient)
+	if len(byRecipient) == 0 {
+		delete(n.inbox, round)
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		a, b := msgs[i], msgs[j]
+		if a.SentRound != b.SentRound {
+			return a.SentRound < b.SentRound
+		}
+		if a.Block.ID != b.Block.ID {
+			return a.Block.ID < b.Block.ID
+		}
+		return a.From < b.From
+	})
+	n.pending -= len(msgs)
+	n.delivered += len(msgs)
+	return msgs
+}
+
+// OldestPendingRound returns the earliest round with undelivered messages
+// and true, or 0 and false when nothing is pending. It supports the
+// delivery-guarantee invariant tests.
+func (n *Network) OldestPendingRound() (int, bool) {
+	if n.pending == 0 {
+		return 0, false
+	}
+	first := int(^uint(0) >> 1)
+	for r, byRecipient := range n.inbox {
+		if len(byRecipient) > 0 && r < first {
+			first = r
+		}
+	}
+	return first, true
+}

@@ -1,0 +1,177 @@
+// Package params models the parameterization of Nakamoto's blockchain
+// protocol used throughout the paper (Table I): the proof-of-work hardness
+// p, the number of miners n, the maximum adversarial delay Δ, the honest
+// and adversarial power fractions µ and ν with µ + ν = 1, and the derived
+// quantities
+//
+//	c  = 1/(p·n·Δ)                    (expected Δ-delays per block)
+//	α  = 1 − (1−p)^{µn}               (Eq. 7,  P[some honest block in a round])
+//	ᾱ  = (1−p)^{µn}                   (Eq. 8,  P[no honest block in a round])
+//	α₁ = p·µn·(1−p)^{µn−1}            (Eq. 9,  P[exactly one honest block])
+//
+// The package enforces the paper's standing assumptions: Eq. (1) µ+ν = 1,
+// Eq. (2) 0 < ν < ½ < µ, and Eq. (3) n ≥ 4.
+package params
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params is a complete protocol parameterization. Nu determines Mu via
+// µ = 1 − ν (Eq. 1).
+type Params struct {
+	// N is the number of miners, honest or corrupted, each with identical
+	// computing power. The paper requires N ≥ 4 (Eq. 3).
+	N int
+	// P is the hardness of the proof of work: each hash query succeeds
+	// independently with probability P.
+	P float64
+	// Delta is the maximum number of rounds the adversary may delay any
+	// message (the Δ-delay model of Pass–Seeman–Shelat).
+	Delta int
+	// Nu is the fraction of computational power controlled by the
+	// adversary; the paper requires 0 < ν < ½ (Eq. 2).
+	Nu float64
+}
+
+// Mu returns the honest power fraction µ = 1 − ν.
+func (pr Params) Mu() float64 { return 1 - pr.Nu }
+
+// Validate checks the paper's standing assumptions (1)–(3) plus basic
+// sanity of P and Delta.
+func (pr Params) Validate() error {
+	if pr.N < 4 {
+		return fmt.Errorf("params: n = %d violates Eq. (3) n ≥ 4", pr.N)
+	}
+	if !(pr.Nu > 0 && pr.Nu < 0.5) {
+		return fmt.Errorf("params: ν = %g violates Eq. (2) 0 < ν < ½", pr.Nu)
+	}
+	if !(pr.P > 0 && pr.P < 1) {
+		return fmt.Errorf("params: p = %g outside (0, 1)", pr.P)
+	}
+	if pr.Delta < 1 {
+		return fmt.Errorf("params: Δ = %d must be ≥ 1", pr.Delta)
+	}
+	return nil
+}
+
+// HonestN returns µn as a float, the form used in the analytic expressions
+// (the exponent of (1−p) in Eqs. 7–9).
+func (pr Params) HonestN() float64 { return pr.Mu() * float64(pr.N) }
+
+// AdversaryN returns νn as a float.
+func (pr Params) AdversaryN() float64 { return pr.Nu * float64(pr.N) }
+
+// HonestCount returns the integer number of honest miners used by the
+// simulator, round(µn).
+func (pr Params) HonestCount() int { return int(math.Round(pr.HonestN())) }
+
+// AdversaryCount returns the integer number of corrupted miners used by the
+// simulator, N − HonestCount.
+func (pr Params) AdversaryCount() int { return pr.N - pr.HonestCount() }
+
+// C returns c = 1/(p·n·Δ), roughly the expected number of Δ-delays before
+// some block is mined.
+func (pr Params) C() float64 {
+	return 1 / (pr.P * float64(pr.N) * float64(pr.Delta))
+}
+
+// Alpha returns α = 1 − (1−p)^{µn}, the probability that at least one
+// honest miner solves a puzzle in one round (Eq. 7).
+func (pr Params) Alpha() float64 { return -math.Expm1(pr.HonestN() * math.Log1p(-pr.P)) }
+
+// AlphaBar returns ᾱ = (1−p)^{µn}, the probability that no honest miner
+// solves a puzzle in one round (Eq. 8).
+func (pr Params) AlphaBar() float64 { return math.Exp(pr.HonestN() * math.Log1p(-pr.P)) }
+
+// Alpha1 returns α₁ = p·µn·(1−p)^{µn−1}, the probability that exactly one
+// honest miner solves a puzzle in one round (Eq. 9).
+func (pr Params) Alpha1() float64 {
+	return pr.P * pr.HonestN() * math.Exp((pr.HonestN()-1)*math.Log1p(-pr.P))
+}
+
+// AdversaryBlockRate returns p·νn, the expected number of adversarial
+// blocks per round (the right-hand side of Eq. 27 divided by T).
+func (pr Params) AdversaryBlockRate() float64 { return pr.P * pr.AdversaryN() }
+
+// ConvergenceOpportunityRate returns ᾱ^{2Δ}·α₁, the stationary probability
+// of the convergence-opportunity pattern HN^{≥Δ}‖H₁N^{Δ} (Eq. 44).
+func (pr Params) ConvergenceOpportunityRate() float64 {
+	return math.Exp(2*float64(pr.Delta)*math.Log(pr.AlphaBar())) * pr.Alpha1()
+}
+
+// FromC constructs a Params with hardness p chosen so that 1/(p·n·Δ)
+// equals c, i.e. p = 1/(c·n·Δ).
+func FromC(n, delta int, nu, c float64) (Params, error) {
+	if c <= 0 {
+		return Params{}, fmt.Errorf("params: c = %g must be positive", c)
+	}
+	if n <= 0 || delta <= 0 {
+		return Params{}, fmt.Errorf("params: n = %d and Δ = %d must be positive", n, delta)
+	}
+	p := 1 / (c * float64(n) * float64(delta))
+	pr := Params{N: n, P: p, Delta: delta, Nu: nu}
+	if err := pr.Validate(); err != nil {
+		return Params{}, err
+	}
+	return pr, nil
+}
+
+// MustFromC is FromC that panics on error, for tests and static tables.
+func MustFromC(n, delta int, nu, c float64) Params {
+	pr, err := FromC(n, delta, nu, c)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// TableI bundles every quantity of the paper's Table I for a given
+// parameterization, in the paper's notation.
+type TableI struct {
+	P      float64 // hardness of the proof of work
+	N      int     // number of miners
+	Delta  int     // maximum adversarial delay
+	C      float64 // c = 1/(pnΔ)
+	Mu     float64 // honest power fraction
+	Nu     float64 // adversarial power fraction
+	Alpha  float64 // α  = 1 − (1−p)^{µn}
+	ABar   float64 // ᾱ  = (1−p)^{µn}
+	Alpha1 float64 // α₁ = pµn(1−p)^{µn−1}
+}
+
+// ComputeTableI evaluates Table I for pr. It returns an error when pr does
+// not satisfy the standing assumptions.
+func ComputeTableI(pr Params) (TableI, error) {
+	if err := pr.Validate(); err != nil {
+		return TableI{}, err
+	}
+	return TableI{
+		P:      pr.P,
+		N:      pr.N,
+		Delta:  pr.Delta,
+		C:      pr.C(),
+		Mu:     pr.Mu(),
+		Nu:     pr.Nu,
+		Alpha:  pr.Alpha(),
+		ABar:   pr.AlphaBar(),
+		Alpha1: pr.Alpha1(),
+	}, nil
+}
+
+// String renders the table in a fixed-width layout mirroring Table I.
+func (t TableI) String() string {
+	return fmt.Sprintf(
+		"Table I quantities\n"+
+			"  p      (PoW hardness)                 = %.6g\n"+
+			"  n      (miners)                       = %d\n"+
+			"  Δ      (max adversarial delay)        = %d\n"+
+			"  c      (1/(pnΔ))                      = %.6g\n"+
+			"  µ      (honest fraction)              = %.6g\n"+
+			"  ν      (adversarial fraction)         = %.6g\n"+
+			"  α      (some honest block/round)      = %.6g\n"+
+			"  ᾱ      (no honest block/round)        = %.6g\n"+
+			"  α₁     (exactly one honest block)     = %.6g\n",
+		t.P, t.N, t.Delta, t.C, t.Mu, t.Nu, t.Alpha, t.ABar, t.Alpha1)
+}

@@ -1,0 +1,266 @@
+package params
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func validParams() Params {
+	return Params{N: 1000, P: 1e-5, Delta: 10, Nu: 0.3}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"n below 4", func(p *Params) { p.N = 3 }},
+		{"nu zero", func(p *Params) { p.Nu = 0 }},
+		{"nu half", func(p *Params) { p.Nu = 0.5 }},
+		{"nu above half", func(p *Params) { p.Nu = 0.6 }},
+		{"nu negative", func(p *Params) { p.Nu = -0.1 }},
+		{"p zero", func(p *Params) { p.P = 0 }},
+		{"p one", func(p *Params) { p.P = 1 }},
+		{"delta zero", func(p *Params) { p.Delta = 0 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := validParams()
+			c.mut(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("%s accepted", c.name)
+			}
+		})
+	}
+}
+
+func TestMuNuSumToOne(t *testing.T) {
+	p := validParams()
+	if got := p.Mu() + p.Nu; math.Abs(got-1) > 1e-15 {
+		t.Errorf("µ+ν = %g", got)
+	}
+}
+
+func TestAlphaIdentities(t *testing.T) {
+	p := validParams()
+	// α + ᾱ = 1 (Eqs. 7, 8).
+	if got := p.Alpha() + p.AlphaBar(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("α + ᾱ = %g, want 1", got)
+	}
+	// 0 ≤ α₁ ≤ α: exactly-one is a sub-event of at-least-one.
+	if p.Alpha1() < 0 || p.Alpha1() > p.Alpha() {
+		t.Errorf("α₁ = %g outside [0, α=%g]", p.Alpha1(), p.Alpha())
+	}
+}
+
+func TestAlphaMatchesBinomialDirect(t *testing.T) {
+	// With integer µn, Eqs. (7)–(9) are binomial point/tail probabilities.
+	p := Params{N: 100, P: 0.01, Delta: 5, Nu: 0.3} // µn = 70 exactly
+	mn := 70.0
+	wantABar := math.Pow(1-p.P, mn)
+	wantAlpha1 := p.P * mn * math.Pow(1-p.P, mn-1)
+	if got := p.AlphaBar(); math.Abs(got-wantABar) > 1e-12 {
+		t.Errorf("ᾱ = %.15g, want %.15g", got, wantABar)
+	}
+	if got := p.Alpha1(); math.Abs(got-wantAlpha1) > 1e-12 {
+		t.Errorf("α₁ = %.15g, want %.15g", got, wantAlpha1)
+	}
+}
+
+func TestCDefinition(t *testing.T) {
+	p := validParams()
+	want := 1 / (p.P * float64(p.N) * float64(p.Delta))
+	if got := p.C(); math.Abs(got-want)/want > 1e-15 {
+		t.Errorf("c = %g, want %g", got, want)
+	}
+}
+
+func TestQuickCPNDeltaIdentity(t *testing.T) {
+	// c · p · n · Δ = 1 for any valid parameterization.
+	f := func(nRaw uint16, dRaw uint8, nuRaw uint16, cRaw uint16) bool {
+		n := int(nRaw%10000) + 4
+		delta := int(dRaw%100) + 1
+		nu := 0.01 + 0.48*float64(nuRaw)/65535
+		c := 0.1 + 100*float64(cRaw)/65535
+		pr, err := FromC(n, delta, nu, c)
+		if err != nil {
+			// p may fall outside (0,1) for extreme combos; that is a valid
+			// rejection, not a failure.
+			return true
+		}
+		got := pr.C() * pr.P * float64(pr.N) * float64(pr.Delta)
+		return math.Abs(got-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAlphaMonotoneInP(t *testing.T) {
+	// α strictly increases with p (more hardness-success ⇒ more blocks).
+	f := func(p1Raw, p2Raw uint16) bool {
+		p1 := 1e-6 + 0.4*float64(p1Raw)/65535
+		p2 := 1e-6 + 0.4*float64(p2Raw)/65535
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		if p1 == p2 {
+			return true
+		}
+		a := Params{N: 100, P: p1, Delta: 2, Nu: 0.3}
+		b := Params{N: 100, P: p2, Delta: 2, Nu: 0.3}
+		return a.Alpha() < b.Alpha()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromCRoundTrip(t *testing.T) {
+	pr, err := FromC(100000, 1000, 0.25, 3.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.C(); math.Abs(got-3.7)/3.7 > 1e-12 {
+		t.Errorf("round-trip c = %g, want 3.7", got)
+	}
+}
+
+func TestFromCRejects(t *testing.T) {
+	if _, err := FromC(1000, 10, 0.3, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := FromC(0, 10, 0.3, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := FromC(1000, 0, 0.3, 1); err == nil {
+		t.Error("Δ=0 accepted")
+	}
+	if _, err := FromC(1000, 10, 0.7, 1); err == nil {
+		t.Error("ν=0.7 accepted")
+	}
+	// c so small that p ≥ 1.
+	if _, err := FromC(4, 1, 0.3, 0.01); err == nil {
+		t.Error("p ≥ 1 accepted")
+	}
+}
+
+func TestMustFromCPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustFromC with bad args did not panic")
+		}
+	}()
+	MustFromC(0, 0, 0, 0)
+}
+
+func TestHonestAdversaryCounts(t *testing.T) {
+	p := Params{N: 10, P: 0.1, Delta: 1, Nu: 0.3}
+	if got := p.HonestCount(); got != 7 {
+		t.Errorf("HonestCount = %d, want 7", got)
+	}
+	if got := p.AdversaryCount(); got != 3 {
+		t.Errorf("AdversaryCount = %d, want 3", got)
+	}
+	if p.HonestCount()+p.AdversaryCount() != p.N {
+		t.Error("counts do not partition N")
+	}
+}
+
+func TestAdversaryBlockRate(t *testing.T) {
+	p := validParams()
+	want := p.P * p.Nu * float64(p.N)
+	if got := p.AdversaryBlockRate(); math.Abs(got-want) > 1e-18 {
+		t.Errorf("rate = %g, want %g", got, want)
+	}
+}
+
+func TestConvergenceOpportunityRate(t *testing.T) {
+	p := validParams()
+	want := math.Pow(p.AlphaBar(), 2*float64(p.Delta)) * p.Alpha1()
+	got := p.ConvergenceOpportunityRate()
+	if math.Abs(got-want)/want > 1e-10 {
+		t.Errorf("rate = %g, want %g", got, want)
+	}
+	if got <= 0 || got >= 1 {
+		t.Errorf("rate %g outside (0,1)", got)
+	}
+}
+
+func TestConvergenceRateHugeDeltaUnderflowSafe(t *testing.T) {
+	// At the paper's Figure-1 scale (Δ = 10^13, α·Δ ≈ const) the rate is
+	// computed in log space and must not be NaN.
+	p := MustFromC(100000, 1<<40, 0.2, 2.0)
+	got := p.ConvergenceOpportunityRate()
+	if math.IsNaN(got) || got < 0 {
+		t.Errorf("rate = %g", got)
+	}
+}
+
+func TestComputeTableI(t *testing.T) {
+	pr := validParams()
+	tab, err := ComputeTableI(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.N != pr.N || tab.Delta != pr.Delta || tab.P != pr.P {
+		t.Error("table does not echo inputs")
+	}
+	if math.Abs(tab.Alpha+tab.ABar-1) > 1e-12 {
+		t.Error("table α + ᾱ ≠ 1")
+	}
+	if math.Abs(tab.Mu+tab.Nu-1) > 1e-15 {
+		t.Error("table µ + ν ≠ 1")
+	}
+}
+
+func TestComputeTableIRejectsInvalid(t *testing.T) {
+	if _, err := ComputeTableI(Params{}); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestTableIString(t *testing.T) {
+	tab, err := ComputeTableI(validParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, needle := range []string{"p ", "α", "ᾱ", "α₁", "µ", "ν", "Δ"} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("rendered table missing %q", needle)
+		}
+	}
+}
+
+func TestPaperFigure1Parameterization(t *testing.T) {
+	// The paper's Figure 1 uses n = 10⁵ and Δ = 10¹³. Check c ↔ p mapping
+	// does not lose precision at that scale.
+	n := 100000
+	delta := int(1e13)
+	pr, err := FromC(n, delta, 0.25, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pr.C()-2.0)/2.0 > 1e-9 {
+		t.Errorf("c = %.15g at paper scale", pr.C())
+	}
+	if pr.P <= 0 {
+		t.Errorf("p = %g underflowed", pr.P)
+	}
+}
+
+func BenchmarkTableICompute(b *testing.B) {
+	pr := validParams()
+	for i := 0; i < b.N; i++ {
+		_, _ = ComputeTableI(pr)
+	}
+}

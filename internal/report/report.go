@@ -1,0 +1,432 @@
+// Package report orchestrates every experiment in the repository —
+// the paper artifacts (Figure 1, Table I, Figure 2, Remark 1) and the
+// simulation-validation experiments S1–S6 of DESIGN.md — and renders a
+// single markdown report with measured-vs-predicted numbers. The
+// cmd/report binary wraps it; EXPERIMENTS.md is generated from its
+// output.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"strings"
+
+	"neatbound/internal/adversary"
+	"neatbound/internal/bounds"
+	"neatbound/internal/consistency"
+	"neatbound/internal/engine"
+	"neatbound/internal/figures"
+	"neatbound/internal/markov"
+	"neatbound/internal/metrics"
+	"neatbound/internal/params"
+	"neatbound/internal/rng"
+	"neatbound/internal/stats"
+	"neatbound/internal/sweep"
+)
+
+// Config scales the experiment suite.
+type Config struct {
+	// Rounds is the base simulation length; Quick presets use fewer.
+	Rounds int
+	// Replicates is the per-cell replicate count for the sweep.
+	Replicates int
+	// Seed drives all randomness.
+	Seed uint64
+	// Workers bounds sweep parallelism.
+	Workers int
+}
+
+// DefaultConfig is the full-size suite (a few minutes on a laptop).
+var DefaultConfig = Config{Rounds: 100000, Replicates: 5, Seed: 1, Workers: 4}
+
+// QuickConfig is a fast smoke-sized suite.
+var QuickConfig = Config{Rounds: 15000, Replicates: 3, Seed: 1, Workers: 4}
+
+// Generate runs the whole suite and writes markdown to w.
+func Generate(w io.Writer, cfg Config) error {
+	if cfg.Rounds < 1000 {
+		return fmt.Errorf("report: rounds = %d too small for meaningful statistics", cfg.Rounds)
+	}
+	if cfg.Replicates < 1 {
+		return fmt.Errorf("report: replicates = %d must be ≥ 1", cfg.Replicates)
+	}
+	sections := []func(io.Writer, Config) error{
+		sectionFigure1,
+		sectionTableI,
+		sectionFigure2,
+		sectionEq44,
+		sectionRemark1,
+		sectionS1Convergence,
+		sectionS2Adversary,
+		sectionS3Stationary,
+		sectionS4Sweep,
+		sectionS5GrowthQuality,
+		sectionS6Lemmas,
+		sectionS7DepthTail,
+		sectionConcentration,
+	}
+	fmt.Fprintf(w, "# Experiment report\n\nrounds=%d replicates=%d seed=%d\n", cfg.Rounds, cfg.Replicates, cfg.Seed)
+	for _, s := range sections {
+		if err := s(w, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sectionFigure1(w io.Writer, _ Config) error {
+	fmt.Fprintf(w, "\n## Figure 1 — νmax vs c (closed-form curves)\n\n")
+	fmt.Fprintf(w, "| c | neat (this paper) | PSS consistency | PSS attack |\n|---|---|---|---|\n")
+	for _, c := range []float64{0.1, 0.5, 1, 2, 3, 10, 30, 100} {
+		neat, err := bounds.NeatBoundNuMax(c)
+		if err != nil {
+			return err
+		}
+		pss, err := bounds.PSSConsistencyNuMax(c)
+		if err != nil {
+			return err
+		}
+		atk, err := bounds.PSSAttackNuMin(c)
+		if err != nil {
+			return err
+		}
+		if !(pss <= neat && neat < atk) {
+			return fmt.Errorf("report: Figure-1 ordering violated at c=%g", c)
+		}
+		fmt.Fprintf(w, "| %g | %.6g | %.6g | %.6g |\n", c, neat, pss, atk)
+	}
+	fmt.Fprintf(w, "\nOrdering blue ≤ magenta < red holds at every point (the paper's claim).\n")
+	return nil
+}
+
+func sectionTableI(w io.Writer, _ Config) error {
+	fmt.Fprintf(w, "\n## Table I — notation quantities at the paper's scale\n\n")
+	pr, err := params.FromC(100000, int(1e13), 0.3, 2.0)
+	if err != nil {
+		return err
+	}
+	tab, err := params.ComputeTableI(pr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "n=10^5, Δ=10^13, ν=0.3, c=2 → p=%.6g, α=%.6g, ᾱ=%.6g, α₁=%.6g\n",
+		tab.P, tab.Alpha, tab.ABar, tab.Alpha1)
+	return nil
+}
+
+func sectionFigure2(w io.Writer, _ Config) error {
+	fmt.Fprintf(w, "\n## Figure 2 — suffix chain C_F, Eqs. (37a–d)\n\n")
+	fmt.Fprintf(w, "| α | Δ | states | TV(analytic, direct solve) | ergodic |\n|---|---|---|---|---|\n")
+	for _, cse := range []struct {
+		alpha float64
+		delta int
+	}{{0.3, 2}, {0.1, 8}, {0.05, 32}} {
+		s, err := markov.NewSuffixChain(cse.alpha, cse.delta)
+		if err != nil {
+			return err
+		}
+		direct, err := s.Chain().StationaryDirect()
+		if err != nil {
+			return err
+		}
+		tv := markov.TotalVariation(s.AnalyticStationary(), direct)
+		if tv > 1e-9 {
+			return fmt.Errorf("report: Eqs. (37a–d) mismatch at α=%g Δ=%d: TV %g", cse.alpha, cse.delta, tv)
+		}
+		fmt.Fprintf(w, "| %g | %d | %d | %.2e | %v |\n",
+			cse.alpha, cse.delta, s.Len(), tv, s.Chain().IsErgodic())
+	}
+	return nil
+}
+
+func sectionEq44(w io.Writer, _ Config) error {
+	fmt.Fprintf(w, "\n## Eqs. (40), (44) — C_F‖P product form and convergence vertex\n\n")
+	fmt.Fprintf(w, "| ᾱ | α₁ | Δ | states | TV(product, direct) | π[conv] direct | ᾱ^2Δ·α₁ |\n|---|---|---|---|---|---|---|\n")
+	for _, cse := range []struct {
+		abar, a1 float64
+		delta    int
+	}{{0.7, 0.2, 1}, {0.6, 0.3, 2}, {0.85, 0.12, 3}} {
+		cc, err := markov.NewConcatChain(cse.abar, cse.a1, cse.delta)
+		if err != nil {
+			return err
+		}
+		direct, err := cc.Chain().StationaryDirect()
+		if err != nil {
+			return err
+		}
+		tv := markov.TotalVariation(cc.ProductFormStationary(), direct)
+		got := direct[cc.ConvergenceStateIndex()]
+		want := cc.AnalyticConvergenceProb()
+		if stats.RelativeError(got, want) > 1e-6 {
+			return fmt.Errorf("report: Eq. 44 mismatch at Δ=%d: %g vs %g", cse.delta, got, want)
+		}
+		fmt.Fprintf(w, "| %g | %g | %d | %d | %.2e | %.8g | %.8g |\n",
+			cse.abar, cse.a1, cse.delta, cc.Len(), tv, got, want)
+	}
+	return nil
+}
+
+func sectionRemark1(w io.Writer, _ Config) error {
+	fmt.Fprintf(w, "\n## Remark 1 — regimes at Δ = 10^13\n\n")
+	rows, err := figures.Remark1Table(1e13)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| δ₁ | δ₂ | ν lower | ν upper gap (½−ν) | slack−1 | paper claims |\n|---|---|---|---|---|---|\n")
+	claims := []string{"ν ∈ [10⁻⁶³, ½−10⁻⁷], slack 5×10⁻⁵ (Eqs. 14–15)", "ν ∈ [10⁻¹⁸, ½−10⁻⁹], slack 2×10⁻³ (Eqs. 16–17)"}
+	for i, r := range rows {
+		fmt.Fprintf(w, "| %.4g | %.4g | %.3g | %.3g | %.3g | %s |\n",
+			r.D1, r.D2, r.NuLo, 0.5-r.NuHi, r.SlackMinusOne, claims[i])
+	}
+	return nil
+}
+
+func sectionS1Convergence(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "\n## S1 — convergence-opportunity rate vs Eq. (26)\n\n")
+	fmt.Fprintf(w, "n=100 Δ=3 ν=0.25, max-delay adversary, %d rounds per point\n\n", cfg.Rounds)
+	fmt.Fprintf(w, "| c | C empirical | T·ᾱ^2Δ·α₁ | rel. err |\n|---|---|---|---|\n")
+	for _, c := range []float64{1, 2, 4, 8} {
+		pr, err := params.FromC(100, 3, 0.25, c)
+		if err != nil {
+			return err
+		}
+		acc, err := runLedger(pr, cfg.Rounds, cfg.Seed, adversary.MaxDelay{})
+		if err != nil {
+			return err
+		}
+		want := float64(cfg.Rounds) * pr.ConvergenceOpportunityRate()
+		fmt.Fprintf(w, "| %g | %d | %.1f | %.3f |\n",
+			c, acc.Convergence, want, stats.RelativeError(float64(acc.Convergence), want))
+	}
+	return nil
+}
+
+func sectionS2Adversary(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "\n## S2 — adversarial block count vs Eq. (27)\n\n")
+	fmt.Fprintf(w, "| ν | A empirical | T·p·ν·n | rel. err |\n|---|---|---|---|\n")
+	for _, nu := range []float64{0.1, 0.25, 0.45} {
+		pr, err := params.FromC(100, 3, nu, 2)
+		if err != nil {
+			return err
+		}
+		acc, err := runLedger(pr, cfg.Rounds, cfg.Seed+7, nil)
+		if err != nil {
+			return err
+		}
+		want := float64(cfg.Rounds) * pr.AdversaryBlockRate()
+		fmt.Fprintf(w, "| %g | %d | %.1f | %.3f |\n",
+			nu, acc.Adversary, want, stats.RelativeError(float64(acc.Adversary), want))
+	}
+	return nil
+}
+
+func sectionS3Stationary(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "\n## S3 — empirical C_F visits vs analytic stationary\n\n")
+	s, err := markov.NewSuffixChain(0.3, 4)
+	if err != nil {
+		return err
+	}
+	steps := cfg.Rounds * 5
+	freq, err := s.Chain().VisitFrequencies(rng.New(cfg.Seed+13), 0, steps)
+	if err != nil {
+		return err
+	}
+	tv := markov.TotalVariation(freq, s.AnalyticStationary())
+	fmt.Fprintf(w, "α=0.3 Δ=4, %d-step walk: TV(empirical, Eqs. 37a–d) = %.4g\n", steps, tv)
+	if tv > 0.05 {
+		return fmt.Errorf("report: S3 TV %g too large", tv)
+	}
+	return nil
+}
+
+func sectionS4Sweep(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "\n## S4 — consistency across the bound (private-mining attack)\n\n")
+	fmt.Fprintf(w, "n=40 Δ=8 ν=0.45 (neat bound c > 5.48), T=3, %d rounds × %d replicates\n\n",
+		cfg.Rounds/3, cfg.Replicates)
+	cells, err := sweep.RunReplicated(sweep.Config{
+		N: 40, Delta: 8,
+		NuValues: []float64{0.45},
+		CValues:  []float64{0.6, 2, 5.5, 25},
+		Rounds:   cfg.Rounds / 3, Seed: cfg.Seed + 21, T: 3, Workers: cfg.Workers,
+		NewAdversary: func() engine.Adversary {
+			return &adversary.PrivateMining{MinForkDepth: 4}
+		},
+	}, cfg.Replicates)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "| c | side of bound | runs with violations | margin C−A (mean±CI) | deepest fork (mean) |\n|---|---|---|---|---|\n")
+	for _, cell := range cells {
+		if cell.Err != nil {
+			return cell.Err
+		}
+		side := "below"
+		if cell.C > 5.482 {
+			side = "above"
+		}
+		lo, hi := cell.Margin.CI95()
+		fmt.Fprintf(w, "| %g | %s | %d/%d | %.0f [%.0f, %.0f] | %.1f |\n",
+			cell.C, side, cell.ViolationRuns, cell.Replicates,
+			cell.Margin.Mean, lo, hi, cell.MaxForkDepth.Mean)
+	}
+	fmt.Fprintf(w, "\nThe Lemma-1 margin C−A flips sign as c crosses the neat bound.\n")
+	return nil
+}
+
+func sectionS5GrowthQuality(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "\n## S5 — chain growth and quality by adversary\n\n")
+	pr, err := params.FromC(40, 4, 0.4, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "n=40 Δ=4 ν=0.4 c=3, %d rounds (fair-share quality would be µ=0.6)\n\n", cfg.Rounds)
+	fmt.Fprintf(w, "| adversary | growth (blocks/round) | chain quality | main-chain share |\n|---|---|---|---|\n")
+	strategies := []engine.Adversary{
+		engine.PassiveAdversary{},
+		adversary.MaxDelay{},
+		&adversary.Selfish{},
+	}
+	for _, adv := range strategies {
+		e, err := engine.New(engine.Config{Params: pr, Rounds: cfg.Rounds, Seed: cfg.Seed + 31, Adversary: adv})
+		if err != nil {
+			return err
+		}
+		res, err := e.Run()
+		if err != nil {
+			return err
+		}
+		tree := res.Tree
+		quality, err := metrics.ChainQuality(tree, tree.Best(), 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "| %s | %.5f | %.3f | %.3f |\n",
+			adv.Name(), metrics.ChainGrowthRate(res.Records), quality, metrics.MainChainShare(tree))
+	}
+	return nil
+}
+
+func sectionS6Lemmas(w io.Writer, _ Config) error {
+	fmt.Fprintf(w, "\n## S6 — Lemma 2–8 chain (52)–(59)\n\n")
+	eps := bounds.Epsilons{E1: 0.05, E2: 0.05}
+	fmt.Fprintf(w, "| n | Δ | ν | c | all checks hold |\n|---|---|---|---|---|\n")
+	for _, cse := range []struct {
+		n, delta int
+		nu       float64
+	}{
+		{1000, 10, 0.25}, {100000, 1000, 0.1}, {100000, int(1e13), 0.3},
+	} {
+		minC, err := bounds.Theorem2MinC(cse.nu, float64(cse.delta), eps)
+		if err != nil {
+			return err
+		}
+		pr, err := params.FromC(cse.n, cse.delta, cse.nu, minC*1.01)
+		if err != nil {
+			return err
+		}
+		checks, err := bounds.VerifyLemmaChain(pr, eps)
+		if err != nil {
+			return err
+		}
+		if !bounds.AllHold(checks) {
+			return fmt.Errorf("report: lemma chain failed at n=%d Δ=%d ν=%g: %+v",
+				cse.n, cse.delta, cse.nu, bounds.FirstFailure(checks))
+		}
+		fmt.Fprintf(w, "| %d | %d | %g | %.5g | yes (%d checks) |\n",
+			cse.n, cse.delta, cse.nu, pr.C(), len(checks))
+	}
+	return nil
+}
+
+func sectionS7DepthTail(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "\n## S7 — deep-fork success rate vs target depth (exponential decay in T)\n\n")
+	// Definition 1 allows failure probability decaying exponentially in T.
+	// Measure it from the attack side: a private miner that only publishes
+	// forks of depth ≥ d succeeds at a rate that shrinks geometrically in
+	// d (race tail with base ν/µ).
+	pr, err := params.FromC(40, 8, 0.4, 1.0)
+	if err != nil {
+		return err
+	}
+	base, err := bounds.ForkDepthTailBase(pr.Nu)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "n=40 Δ=8 ν=0.4 c=1 (below bound), private mining, %d rounds per target depth; ν/µ = %.3f\n\n",
+		cfg.Rounds, base)
+	fmt.Fprintf(w, "| target depth d | deep forks published | ratio to d−2 | reference (ν/µ)² = %.3f |\n|---|---|---|---|\n",
+		base*base)
+	prev := -1
+	for _, depth := range []int{2, 4, 6, 8} {
+		adv := &adversary.PrivateMining{MinForkDepth: depth}
+		e, err := engine.New(engine.Config{
+			Params: pr, Rounds: cfg.Rounds, Seed: cfg.Seed + 53,
+			Adversary: adv,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := e.Run(); err != nil {
+			return err
+		}
+		ratio := "—"
+		if prev > 0 {
+			ratio = fmt.Sprintf("%.3f", float64(adv.Published)/float64(prev))
+		}
+		fmt.Fprintf(w, "| %d | %d | %s | |\n", depth, adv.Published, ratio)
+		prev = adv.Published
+	}
+	fmt.Fprintf(w, "\nPublication counts shrink geometrically in the target depth — the exponential-in-T decay Definition 1 requires. Below the bound the measured base sits above (ν/µ)²: the Δ-delays waste honest work on forks, raising the adversary's effective power beyond the raw ν/µ race ratio.\n")
+	return nil
+}
+
+func sectionConcentration(w io.Writer, cfg Config) error {
+	fmt.Fprintf(w, "\n## Inequality (47) — Chernoff–Hoeffding bound for C_F walks\n\n")
+	s, err := markov.NewSuffixChain(0.3, 2)
+	if err != nil {
+		return err
+	}
+	b, err := markov.NewConcentrationBound(s.Chain(), s.StateLongN(), 100000)
+	if err != nil {
+		return err
+	}
+	steps := cfg.Rounds / 10
+	trials := 100 + cfg.Replicates*20
+	const delta = 0.5
+	emp, err := markov.EmpiricalVisitDeviation(s.Chain(), s.StateLongN(), 0, steps, trials, delta, rng.New(cfg.Seed+41))
+	if err != nil {
+		return err
+	}
+	bound := b.LowerTail(steps, delta)
+	fmt.Fprintf(w, "α=0.3 Δ=2, target HN^{≥Δ}: τ(1/8)=%d, ‖φ‖_π ≤ %.3g\n", b.MixingTime, b.PiNormBound)
+	fmt.Fprintf(w, "P[C ≤ (1−%.1f)·E C] over %d-step walks: empirical %.4g ≤ bound %.4g\n",
+		delta, steps, emp, bound)
+	if emp > bound && bound < 1 {
+		return fmt.Errorf("report: empirical deviation %g exceeds bound %g", emp, bound)
+	}
+	return nil
+}
+
+// runLedger executes a run and returns its Lemma-1 accounting.
+func runLedger(pr params.Params, rounds int, seed uint64, adv engine.Adversary) (consistency.Accounting, error) {
+	e, err := engine.New(engine.Config{Params: pr, Rounds: rounds, Seed: seed, Adversary: adv})
+	if err != nil {
+		return consistency.Accounting{}, err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return consistency.Accounting{}, err
+	}
+	return consistency.Account(res.Records, pr.Delta)
+}
+
+// Summary runs the suite into a buffer (used by tests) and reports the
+// number of sections that rendered.
+func Summary(cfg Config) (int, error) {
+	var b strings.Builder
+	if err := Generate(&b, cfg); err != nil {
+		return 0, err
+	}
+	return strings.Count(b.String(), "\n## "), nil
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{Rounds: 6000, Replicates: 2, Seed: 1, Workers: 4}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	var b strings.Builder
+	if err := Generate(&b, Config{Rounds: 10, Replicates: 1}); err == nil {
+		t.Error("tiny rounds accepted")
+	}
+	if err := Generate(&b, Config{Rounds: 5000, Replicates: 0}); err == nil {
+		t.Error("0 replicates accepted")
+	}
+}
+
+func TestGenerateFullReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite")
+	}
+	var b strings.Builder
+	if err := Generate(&b, testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, section := range []string{
+		"## Figure 1", "## Table I", "## Figure 2", "## Eqs. (40), (44)",
+		"## Remark 1", "## S1", "## S2", "## S3", "## S4", "## S5", "## S6",
+		"## S7", "## Inequality (47)",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("report missing section %q", section)
+		}
+	}
+	// Every markdown table must have at least one data row.
+	if strings.Count(out, "\n| ") < 20 {
+		t.Errorf("report looks underpopulated:\n%s", out)
+	}
+}
+
+func TestSummaryCountsSections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite")
+	}
+	n, err := Summary(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 13 {
+		t.Errorf("sections = %d, want 13", n)
+	}
+}

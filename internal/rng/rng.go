@@ -1,0 +1,167 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator for reproducible simulations.
+//
+// The generator is xoshiro256** (Blackman & Vigna) seeded through
+// SplitMix64. Streams can be split into statistically independent
+// sub-streams, which lets the simulation engine hand every miner, every
+// round, and every experiment replicate its own generator while keeping the
+// whole run reproducible from a single root seed.
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stream is a deterministic PRNG stream. It is not safe for concurrent use;
+// split sub-streams (one per goroutine) instead of sharing.
+type Stream struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used for seeding and for deriving split streams.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Stream seeded from seed. Distinct seeds produce
+// independent-looking streams; the zero seed is valid.
+func New(seed uint64) *Stream {
+	st := seed
+	var r Stream
+	for i := range r.s {
+		r.s[i] = splitMix64(&st)
+	}
+	// xoshiro256** must not start at the all-zero state; SplitMix64 cannot
+	// produce four zero outputs in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Stream) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split derives a new independent Stream from r using label to
+// differentiate sub-streams. Splitting with distinct labels yields distinct
+// streams; the parent stream is advanced so repeated Split calls with the
+// same label also differ.
+func (r *Stream) Split(label uint64) *Stream {
+	st := r.Uint64() ^ (label * 0x9e3779b97f4a7c15)
+	var child Stream
+	for i := range child.s {
+		child.s[i] = splitMix64(&st)
+	}
+	if child.s[0]|child.s[1]|child.s[2]|child.s[3] == 0 {
+		child.s[0] = 1
+	}
+	return &child
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1] are
+// clamped.
+func (r *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Intn with non-positive n=%d", n))
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n=0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling over the top of the range to remove modulo bias.
+	max := math.MaxUint64 - math.MaxUint64%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate via the Marsaglia polar
+// method.
+func (r *Stream) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Exponential returns an exponential variate with rate lambda > 0.
+func (r *Stream) Exponential(lambda float64) float64 {
+	if lambda <= 0 {
+		panic(fmt.Sprintf("rng: Exponential with non-positive rate %g", lambda))
+	}
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u) / lambda
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap, via Fisher–Yates.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

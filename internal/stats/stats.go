@@ -1,0 +1,127 @@
+// Package stats provides the small experiment-statistics toolkit used by
+// the replicated sweep harness: streaming moment accumulation (Welford),
+// summaries with normal-approximation confidence intervals, and rate
+// estimation with Wilson intervals for violation probabilities.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator computes running mean and variance with Welford's
+// algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds a value into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of accumulated values.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the sample variance (n−1 denominator); 0 when n < 2.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Variance()) }
+
+// Summary freezes the accumulator.
+func (a *Accumulator) Summary() Summary {
+	return Summary{N: a.n, Mean: a.mean, Std: a.Std(), Min: a.min, Max: a.max}
+}
+
+// Summary describes a sample.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Mean and Std are the sample mean and standard deviation.
+	Mean, Std float64
+	// Min and Max are the sample extremes.
+	Min, Max float64
+}
+
+// Summarize computes a Summary for xs.
+func Summarize(xs []float64) Summary {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	return a.Summary()
+}
+
+// CI95 returns the normal-approximation 95% confidence interval on the
+// mean. With n < 2 the interval collapses to the mean.
+func (s Summary) CI95() (lo, hi float64) {
+	if s.N < 2 {
+		return s.Mean, s.Mean
+	}
+	half := 1.959963984540054 * s.Std / math.Sqrt(float64(s.N))
+	return s.Mean - half, s.Mean + half
+}
+
+// String renders "mean ± half-width (n)".
+func (s Summary) String() string {
+	lo, hi := s.CI95()
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, (hi-lo)/2, s.N)
+}
+
+// WilsonInterval returns the 95% Wilson score interval for a proportion
+// with successes out of trials. It is well behaved at 0 and 1, unlike the
+// normal approximation. It errors on invalid counts.
+func WilsonInterval(successes, trials int) (lo, hi float64, err error) {
+	if trials <= 0 {
+		return 0, 0, fmt.Errorf("stats: trials = %d must be positive", trials)
+	}
+	if successes < 0 || successes > trials {
+		return 0, 0, fmt.Errorf("stats: successes = %d outside [0, %d]", successes, trials)
+	}
+	const z = 1.959963984540054
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	den := 1 + z2/n
+	center := (p + z2/(2*n)) / den
+	half := z / den * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = math.Max(0, center-half)
+	hi = math.Min(1, center+half)
+	return lo, hi, nil
+}
+
+// RelativeError returns |got−want|/|want|; +Inf when want is 0 and got is
+// not.
+func RelativeError(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"neatbound/internal/rng"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+		t.Error("zero accumulator not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("n = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", a.Mean())
+	}
+	// Sample variance of that classic set is 32/7.
+	if math.Abs(a.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %g, want %g", a.Variance(), 32.0/7)
+	}
+	s := a.Summary()
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %g/%g", s.Min, s.Max)
+	}
+}
+
+func TestAccumulatorSingleValue(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Variance() != 0 || a.Std() != 0 {
+		t.Error("variance of single value not 0")
+	}
+	s := a.Summary()
+	if s.Min != 3.5 || s.Max != 3.5 {
+		t.Error("single-value extremes wrong")
+	}
+}
+
+func TestQuickWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		r := rng.New(seed)
+		xs := make([]float64, n)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+			a.Add(xs[i])
+		}
+		// Two-pass reference.
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Variance()-variance) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || math.Abs(s.Mean-2) > 1e-15 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary %+v", empty)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	s := Summary{N: 100, Mean: 10, Std: 2}
+	lo, hi := s.CI95()
+	want := 1.959963984540054 * 2 / 10
+	if math.Abs((hi-lo)/2-want) > 1e-12 {
+		t.Errorf("half-width %g, want %g", (hi-lo)/2, want)
+	}
+	if lo >= 10 || hi <= 10 {
+		t.Error("interval does not contain the mean")
+	}
+	single := Summary{N: 1, Mean: 5}
+	lo, hi = single.CI95()
+	if lo != 5 || hi != 5 {
+		t.Error("n=1 interval should collapse")
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// Empirical coverage of the CI on normal data should be near 95%.
+	r := rng.New(42)
+	const experiments, n = 2000, 30
+	covered := 0
+	for e := 0; e < experiments; e++ {
+		var a Accumulator
+		for i := 0; i < n; i++ {
+			a.Add(r.NormFloat64())
+		}
+		lo, hi := a.Summary().CI95()
+		if lo <= 0 && 0 <= hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / experiments
+	if rate < 0.92 || rate > 0.98 {
+		t.Errorf("CI coverage %g, want ≈0.95", rate)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{N: 4, Mean: 1.5, Std: 0.5}
+	if got := s.String(); got == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi, err := WilsonInterval(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("interval [%g, %g] should straddle 0.5", lo, hi)
+	}
+	// Zero successes: lower bound 0, upper bound small but positive.
+	lo, hi, err = WilsonInterval(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi <= 0 || hi > 0.05 {
+		t.Errorf("0/100 interval [%g, %g]", lo, hi)
+	}
+	// All successes mirror.
+	lo, hi, err = WilsonInterval(100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != 1 || lo >= 1 || lo < 0.95 {
+		t.Errorf("100/100 interval [%g, %g]", lo, hi)
+	}
+}
+
+func TestWilsonIntervalErrors(t *testing.T) {
+	if _, _, err := WilsonInterval(1, 0); err == nil {
+		t.Error("0 trials accepted")
+	}
+	if _, _, err := WilsonInterval(-1, 10); err == nil {
+		t.Error("negative successes accepted")
+	}
+	if _, _, err := WilsonInterval(11, 10); err == nil {
+		t.Error("successes > trials accepted")
+	}
+}
+
+func TestQuickWilsonContainsMLE(t *testing.T) {
+	f := func(sRaw, tRaw uint8) bool {
+		trials := int(tRaw%100) + 1
+		successes := int(sRaw) % (trials + 1)
+		lo, hi, err := WilsonInterval(successes, trials)
+		if err != nil {
+			return false
+		}
+		p := float64(successes) / float64(trials)
+		return lo <= p+1e-12 && p-1e-12 <= hi && lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(11, 10) != 0.1 {
+		t.Error("basic relative error")
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Error("0/0 should be 0")
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Error("x/0 should be +Inf")
+	}
+}

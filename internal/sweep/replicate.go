@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"fmt"
+
+	"neatbound/internal/stats"
+)
+
+// AggregateCell summarizes one grid point across independent replicates:
+// the violation probability with a Wilson interval, and mean/CI summaries
+// of the Lemma-1 margin, the convergence-opportunity count and the
+// deepest fork.
+type AggregateCell struct {
+	// Nu and C locate the cell.
+	Nu, C float64
+	// Replicates is the number of successful runs aggregated.
+	Replicates int
+	// ViolationRuns counts replicates with at least one Definition-1
+	// violation.
+	ViolationRuns int
+	// ViolationRateLo and ViolationRateHi are the 95% Wilson bounds on
+	// the per-run violation probability.
+	ViolationRateLo, ViolationRateHi float64
+	// Margin summarizes the Lemma-1 margin C−A across replicates.
+	Margin stats.Summary
+	// Convergence summarizes the convergence-opportunity counts.
+	Convergence stats.Summary
+	// MaxForkDepth summarizes the deepest fork per run.
+	MaxForkDepth stats.Summary
+	// Err is set when every replicate failed (e.g. infeasible p).
+	Err error
+}
+
+// RunReplicated executes the grid `replicates` times with independent
+// seeds and aggregates per cell. Each replicate reuses the parallel worker
+// pool of Run.
+func RunReplicated(cfg Config, replicates int) ([]AggregateCell, error) {
+	if replicates < 1 {
+		return nil, fmt.Errorf("sweep: replicates = %d must be ≥ 1", replicates)
+	}
+	nCells := len(cfg.NuValues) * len(cfg.CValues)
+	type agg struct {
+		margin, conv, fork stats.Accumulator
+		violationRuns      int
+		ok                 int
+		lastErr            error
+	}
+	aggs := make([]agg, nCells)
+	for rep := 0; rep < replicates; rep++ {
+		repCfg := cfg
+		repCfg.Seed = cfg.Seed + uint64(rep)*0x9e3779b97f4a7c15
+		cells, err := Run(repCfg)
+		if err != nil {
+			return nil, err
+		}
+		for i, cell := range cells {
+			if cell.Err != nil {
+				aggs[i].lastErr = cell.Err
+				continue
+			}
+			aggs[i].ok++
+			aggs[i].margin.Add(float64(cell.Ledger.Margin()))
+			aggs[i].conv.Add(float64(cell.Ledger.Convergence))
+			aggs[i].fork.Add(float64(cell.MaxForkDepth))
+			if cell.Violations > 0 {
+				aggs[i].violationRuns++
+			}
+		}
+	}
+	out := make([]AggregateCell, nCells)
+	idx := 0
+	for _, nu := range cfg.NuValues {
+		for _, c := range cfg.CValues {
+			a := &aggs[idx]
+			cell := AggregateCell{Nu: nu, C: c, Replicates: a.ok, ViolationRuns: a.violationRuns}
+			if a.ok == 0 {
+				cell.Err = a.lastErr
+			} else {
+				lo, hi, err := stats.WilsonInterval(a.violationRuns, a.ok)
+				if err != nil {
+					return nil, err
+				}
+				cell.ViolationRateLo, cell.ViolationRateHi = lo, hi
+				cell.Margin = a.margin.Summary()
+				cell.Convergence = a.conv.Summary()
+				cell.MaxForkDepth = a.fork.Summary()
+			}
+			out[idx] = cell
+			idx++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+// Package sweep runs grids of protocol simulations in parallel — the
+// empirical side of Figure 1. Each grid cell fixes an adversarial fraction
+// ν and an expected-delay ratio c, executes the Δ-delay protocol under a
+// chosen adversary, and reports consistency violations, the Lemma-1 ledger
+// (convergence opportunities vs adversarial blocks), and fork statistics.
+// Cells are independent, so they fan out across a bounded worker pool of
+// goroutines.
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"neatbound/internal/consistency"
+	"neatbound/internal/engine"
+	"neatbound/internal/metrics"
+	"neatbound/internal/params"
+)
+
+// Config describes a sweep grid.
+type Config struct {
+	// N is the miner count used in every cell.
+	N int
+	// Delta is the network delay bound used in every cell.
+	Delta int
+	// NuValues and CValues span the grid; every (ν, c) pair is one cell.
+	NuValues, CValues []float64
+	// Rounds is the number of protocol rounds per cell.
+	Rounds int
+	// Seed derives per-cell seeds deterministically.
+	Seed uint64
+	// T is the consistency chop parameter of Definition 1.
+	T int
+	// SampleEvery is the consistency checker's snapshot interval; 0 picks
+	// Rounds/50 (min 1).
+	SampleEvery int
+	// NewAdversary builds a fresh strategy per cell (strategies are
+	// stateful); nil runs the passive baseline.
+	NewAdversary func() engine.Adversary
+	// Workers bounds parallelism; 0 means 4.
+	Workers int
+}
+
+// Cell is the outcome of one grid point.
+type Cell struct {
+	// Nu and C locate the cell.
+	Nu, C float64
+	// Params is the concrete parameterization executed.
+	Params params.Params
+	// Violations counts Definition-1 breaches at chop T.
+	Violations int
+	// MaxForkDepth is the deepest observed divergence (the smallest T that
+	// would have been violation-free).
+	MaxForkDepth int
+	// Ledger is the Lemma-1 accounting for the run.
+	Ledger consistency.Accounting
+	// PredictedConvergence is T·ᾱ^{2Δ}·α₁ (Eq. 26) for comparison with
+	// Ledger.Convergence.
+	PredictedConvergence float64
+	// PredictedAdversary is T·p·ν·n (Eq. 27).
+	PredictedAdversary float64
+	// MainChainShare is the fraction of mined blocks on the main chain.
+	MainChainShare float64
+	// Err records a per-cell failure (e.g. p out of range for this (ν,c)).
+	Err error
+}
+
+// Run executes the grid. Cells whose parameterization is infeasible (p
+// outside (0,1)) are returned with Err set rather than failing the sweep.
+// The returned slice is ordered ν-major, matching the input grids.
+func Run(cfg Config) ([]Cell, error) {
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("sweep: rounds = %d must be ≥ 1", cfg.Rounds)
+	}
+	if len(cfg.NuValues) == 0 || len(cfg.CValues) == 0 {
+		return nil, fmt.Errorf("sweep: empty grid (%d ν × %d c)", len(cfg.NuValues), len(cfg.CValues))
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	sampleEvery := cfg.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = cfg.Rounds / 50
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+	}
+	type job struct {
+		idx    int
+		nu, c  float64
+		cellID uint64
+	}
+	jobs := make(chan job)
+	cells := make([]Cell, len(cfg.NuValues)*len(cfg.CValues))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cells[j.idx] = runCell(cfg, j.nu, j.c, cfg.Seed^(j.cellID*0x9e3779b97f4a7c15), sampleEvery)
+			}
+		}()
+	}
+	idx := 0
+	for _, nu := range cfg.NuValues {
+		for _, c := range cfg.CValues {
+			jobs <- job{idx: idx, nu: nu, c: c, cellID: uint64(idx + 1)}
+			idx++
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return cells, nil
+}
+
+// runCell executes one grid point.
+func runCell(cfg Config, nu, c float64, seed uint64, sampleEvery int) Cell {
+	cell := Cell{Nu: nu, C: c}
+	pr, err := params.FromC(cfg.N, cfg.Delta, nu, c)
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	cell.Params = pr
+	checker, err := consistency.NewChecker(cfg.T, sampleEvery)
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	var adv engine.Adversary
+	if cfg.NewAdversary != nil {
+		adv = cfg.NewAdversary()
+	}
+	e, err := engine.New(engine.Config{
+		Params:    pr,
+		Rounds:    cfg.Rounds,
+		Seed:      seed,
+		Adversary: adv,
+		OnRound:   checker.OnRound,
+	})
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	res, err := e.Run()
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	viols, err := checker.Check(res.Tree)
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	cell.Violations = len(viols)
+	if cell.MaxForkDepth, err = checker.MaxForkDepth(res.Tree); err != nil {
+		cell.Err = err
+		return cell
+	}
+	if cell.Ledger, err = consistency.Account(res.Records, cfg.Delta); err != nil {
+		cell.Err = err
+		return cell
+	}
+	cell.PredictedConvergence = float64(cfg.Rounds) * pr.ConvergenceOpportunityRate()
+	cell.PredictedAdversary = float64(cfg.Rounds) * pr.AdversaryBlockRate()
+	cell.MainChainShare = metrics.MainChainShare(res.Tree)
+	return cell
+}

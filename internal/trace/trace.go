@@ -1,0 +1,68 @@
+// Package trace exports simulation artifacts (round records, sweep cells)
+// as CSV for external analysis and archival of experiment outputs.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"neatbound/internal/engine"
+	"neatbound/internal/sweep"
+)
+
+// WriteRoundRecords emits one CSV row per executed round.
+func WriteRoundRecords(w io.Writer, records []engine.RoundRecord) error {
+	if _, err := fmt.Fprintln(w, "round,honest_mined,adversary_mined,max_honest_height,min_honest_height,distinct_tips"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d\n",
+			r.Round, r.HonestMined, r.AdversaryMined,
+			r.MaxHonestHeight, r.MinHonestHeight, r.DistinctTips); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSweepCells emits one CSV row per sweep cell.
+func WriteSweepCells(w io.Writer, cells []sweep.Cell) error {
+	if _, err := fmt.Fprintln(w, "nu,c,violations,max_fork_depth,convergence,adversary_blocks,margin,predicted_convergence,predicted_adversary,main_chain_share,error"); err != nil {
+		return err
+	}
+	for _, cell := range cells {
+		errStr := ""
+		if cell.Err != nil {
+			errStr = fmt.Sprintf("%q", cell.Err.Error())
+		}
+		if _, err := fmt.Fprintf(w, "%g,%g,%d,%d,%d,%d,%d,%g,%g,%g,%s\n",
+			cell.Nu, cell.C, cell.Violations, cell.MaxForkDepth,
+			cell.Ledger.Convergence, cell.Ledger.Adversary, cell.Ledger.Margin(),
+			cell.PredictedConvergence, cell.PredictedAdversary,
+			cell.MainChainShare, errStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAggregateCells emits one CSV row per replicated-sweep cell.
+func WriteAggregateCells(w io.Writer, cells []sweep.AggregateCell) error {
+	if _, err := fmt.Fprintln(w, "nu,c,replicates,violation_runs,violation_rate_lo,violation_rate_hi,margin_mean,margin_std,convergence_mean,max_fork_mean,error"); err != nil {
+		return err
+	}
+	for _, cell := range cells {
+		errStr := ""
+		if cell.Err != nil {
+			errStr = fmt.Sprintf("%q", cell.Err.Error())
+		}
+		if _, err := fmt.Fprintf(w, "%g,%g,%d,%d,%g,%g,%g,%g,%g,%g,%s\n",
+			cell.Nu, cell.C, cell.Replicates, cell.ViolationRuns,
+			cell.ViolationRateLo, cell.ViolationRateHi,
+			cell.Margin.Mean, cell.Margin.Std,
+			cell.Convergence.Mean, cell.MaxForkDepth.Mean, errStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"neatbound/internal/consistency"
+	"neatbound/internal/engine"
+	"neatbound/internal/stats"
+	"neatbound/internal/sweep"
+)
+
+func TestWriteRoundRecords(t *testing.T) {
+	records := []engine.RoundRecord{
+		{Round: 1, HonestMined: 2, AdversaryMined: 0, MaxHonestHeight: 1, MinHonestHeight: 0, DistinctTips: 3},
+		{Round: 2, HonestMined: 0, AdversaryMined: 1, MaxHonestHeight: 1, MinHonestHeight: 1, DistinctTips: 1},
+	}
+	var b strings.Builder
+	if err := WriteRoundRecords(&b, records); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[1] != "1,2,0,1,0,3" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2,0,1,1,1,1" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteRoundRecordsEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteRoundRecords(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "\n"); got != 1 {
+		t.Errorf("header-only output has %d lines", got)
+	}
+}
+
+func TestWriteSweepCells(t *testing.T) {
+	cells := []sweep.Cell{
+		{
+			Nu: 0.3, C: 2, Violations: 1, MaxForkDepth: 5,
+			Ledger:               consistency.Accounting{Rounds: 100, Convergence: 10, Adversary: 7},
+			PredictedConvergence: 9.5, PredictedAdversary: 7.2, MainChainShare: 0.9,
+		},
+		{Nu: 0.4, C: 0.01, Err: errors.New("infeasible, p > 1")},
+	}
+	var b strings.Builder
+	if err := WriteSweepCells(&b, cells); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "0.3,2,1,5,10,7,3,9.5,7.2,0.9,") {
+		t.Errorf("data row missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"infeasible, p > 1"`) {
+		t.Errorf("error not quoted:\n%s", out)
+	}
+}
+
+func TestWriteAggregateCells(t *testing.T) {
+	cells := []sweep.AggregateCell{
+		{
+			Nu: 0.3, C: 2, Replicates: 5, ViolationRuns: 2,
+			ViolationRateLo: 0.1, ViolationRateHi: 0.8,
+			Margin:       stats.Summary{N: 5, Mean: 3, Std: 1},
+			Convergence:  stats.Summary{N: 5, Mean: 11},
+			MaxForkDepth: stats.Summary{N: 5, Mean: 2},
+		},
+	}
+	var b strings.Builder
+	if err := WriteAggregateCells(&b, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0.3,2,5,2,0.1,0.8,3,1,11,2,") {
+		t.Errorf("aggregate row missing:\n%s", b.String())
+	}
+}
+
+// failWriter errors after n bytes to exercise error paths.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errors.New("write failed")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	records := []engine.RoundRecord{{Round: 1}}
+	if err := WriteRoundRecords(&failWriter{left: 0}, records); err == nil {
+		t.Error("header write failure swallowed")
+	}
+	if err := WriteRoundRecords(&failWriter{left: 80}, records); err == nil {
+		t.Error("row write failure swallowed")
+	}
+	if err := WriteSweepCells(&failWriter{left: 0}, nil); err == nil {
+		t.Error("sweep header failure swallowed")
+	}
+	if err := WriteAggregateCells(&failWriter{left: 0}, nil); err == nil {
+		t.Error("aggregate header failure swallowed")
+	}
+}
