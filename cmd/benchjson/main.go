@@ -1,0 +1,145 @@
+// Command benchjson runs the engine's hot-path benchmark — the same
+// mid-size configuration as BenchmarkSimulationRound — and records the
+// result in BENCH_engine.json, so the simulation throughput trajectory
+// (rounds/s, ns/round, allocs/round) is tracked across PRs.
+//
+// Each run appends or replaces one labeled entry:
+//
+//	go run ./cmd/benchjson -label flat-arena -out BENCH_engine.json
+//
+// Entries with the same label are replaced in place, so re-running a
+// measurement updates it instead of duplicating it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"neatbound"
+	"neatbound/internal/params"
+)
+
+// entry is one labeled benchmark measurement.
+type entry struct {
+	Label string `json:"label"`
+	Date  string `json:"date"`
+	// Configuration of the measured run.
+	N           int     `json:"n"`
+	P           float64 `json:"p"`
+	Delta       int     `json:"delta"`
+	Nu          float64 `json:"nu"`
+	RoundsPerOp int     `json:"rounds_per_op"`
+	Iterations  int     `json:"iterations"`
+	// Results, normalized per simulated round.
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+}
+
+// file is the on-disk BENCH_engine.json layout.
+type file struct {
+	Benchmark string  `json:"benchmark"`
+	Entries   []entry `json:"entries"`
+}
+
+func main() {
+	var (
+		label  = flag.String("label", "current", "entry label (same label replaces)")
+		out    = flag.String("out", "BENCH_engine.json", "output JSON path")
+		n      = flag.Int("n", 1000, "players")
+		p      = flag.Float64("p", 1e-4, "per-query success probability")
+		delta  = flag.Int("delta", 8, "network delay bound Δ")
+		nu     = flag.Float64("nu", 0.3, "adversarial fraction ν")
+		rounds = flag.Int("rounds", 1000, "rounds per simulation op")
+		iters  = flag.Int("iters", 30, "simulation ops to average over")
+	)
+	flag.Parse()
+
+	pr, err := neatbound.NewParams(*n, *p, *delta, *nu)
+	if err != nil {
+		fatal(err)
+	}
+	e, err := measure(pr, *rounds, *iters)
+	if err != nil {
+		fatal(err)
+	}
+	e.Label = *label
+	e.Date = time.Now().UTC().Format("2006-01-02")
+
+	f := file{Benchmark: "BenchmarkSimulationRound"}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fatal(fmt.Errorf("benchjson: existing %s is not valid: %w", *out, err))
+		}
+	}
+	replaced := false
+	for i := range f.Entries {
+		if f.Entries[i].Label == e.Label {
+			f.Entries[i] = e
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Entries = append(f.Entries, e)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %s  %.0f rounds/s  %.0f ns/round  %.1f allocs/round  %.0f B/round\n",
+		*out, e.Label, e.RoundsPerSec, e.NsPerRound, e.AllocsPerRound, e.BytesPerRound)
+}
+
+// measure times iters runs of a rounds-long simulation (the
+// BenchmarkSimulationRound body) and reports per-round cost. Allocation
+// counts come from runtime.MemStats deltas, matching -benchmem.
+func measure(pr params.Params, rounds, iters int) (entry, error) {
+	if iters < 1 || rounds < 1 {
+		return entry{}, fmt.Errorf("benchjson: iters and rounds must be ≥ 1")
+	}
+	run := func(seed uint64) error {
+		_, err := neatbound.Simulate(neatbound.SimulationConfig{
+			Params: pr, Rounds: rounds, Seed: seed, T: 6,
+		})
+		return err
+	}
+	// Warm-up run, excluded from the measurement.
+	if err := run(0); err != nil {
+		return entry{}, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 1; i <= iters; i++ {
+		if err := run(uint64(i)); err != nil {
+			return entry{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	total := float64(rounds) * float64(iters)
+	return entry{
+		N: pr.N, P: pr.P, Delta: pr.Delta, Nu: pr.Nu,
+		RoundsPerOp: rounds, Iterations: iters,
+		RoundsPerSec:   total / elapsed.Seconds(),
+		NsPerRound:     float64(elapsed.Nanoseconds()) / total,
+		AllocsPerRound: float64(m1.Mallocs-m0.Mallocs) / total,
+		BytesPerRound:  float64(m1.TotalAlloc-m0.TotalAlloc) / total,
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

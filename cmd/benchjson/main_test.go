@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"neatbound/internal/params"
+)
+
+func TestMeasureProducesSaneEntry(t *testing.T) {
+	pr := params.Params{N: 50, P: 1e-3, Delta: 3, Nu: 0.3}
+	e, err := measure(pr, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.RoundsPerSec <= 0 || e.NsPerRound <= 0 {
+		t.Errorf("non-positive timings: %+v", e)
+	}
+	if e.AllocsPerRound < 0 || e.BytesPerRound < 0 {
+		t.Errorf("negative alloc metrics: %+v", e)
+	}
+	e.Label = "test"
+	data, err := json.Marshal(file{Benchmark: "BenchmarkSimulationRound", Entries: []entry{e}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back file
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 1 || back.Entries[0].Label != "test" {
+		t.Errorf("round trip lost the entry: %s", data)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	pr := params.Params{N: 50, P: 1e-3, Delta: 3, Nu: 0.3}
+	if _, err := measure(pr, 0, 1); err == nil {
+		t.Error("0 rounds accepted")
+	}
+	if _, err := measure(pr, 10, 0); err == nil {
+		t.Error("0 iters accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module neatbound
+
+go 1.24

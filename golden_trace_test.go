@@ -1,0 +1,199 @@
+package neatbound
+
+import (
+	"math"
+	"testing"
+
+	"neatbound/internal/adversary"
+	"neatbound/internal/blockchain"
+	"neatbound/internal/engine"
+	"neatbound/internal/params"
+)
+
+// These golden hashes pin the engine's observable behavior — the exact
+// RoundRecord stream, final honest tips, block counters, and tree shape —
+// for fixed seeds across every adversary class. They were captured on the
+// original map-based simulation data path (map Tree, per-round O(players)
+// statistics scans, map-of-maps network inbox); the flat-arena /
+// incremental-statistics / ring-buffer refactor and any future hot-path
+// work must reproduce them bit-identically: a changed hash means changed
+// simulation semantics (or a changed RNG draw order), not just a perf
+// regression.
+
+// goldenCase is one pinned execution: a config plus, optionally, the
+// literal proof-of-work path (WithOracleMining) in place of binomial
+// sampling.
+type goldenCase struct {
+	cfg       engine.Config
+	oracle    bool
+	oracleKey uint64
+}
+
+// traceHash runs the case and folds every per-round record plus the
+// final state into an FNV-1a hash.
+func traceHash(t *testing.T, gc goldenCase) uint64 {
+	cfg := gc.cfg
+	t.Helper()
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		// Mix each of the 8 bytes so high bits participate.
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ (v >> i & 0xff)) * prime
+		}
+	}
+	prev := cfg.OnRound
+	cfg.OnRound = func(e *engine.Engine, rec engine.RoundRecord) {
+		mix(uint64(rec.Round))
+		mix(math.Float64bits(rec.Nu))
+		mix(uint64(rec.HonestMined))
+		mix(uint64(rec.AdversaryMined))
+		mix(uint64(rec.MaxHonestHeight))
+		mix(uint64(rec.MinHonestHeight))
+		mix(uint64(rec.DistinctTips))
+		if prev != nil {
+			prev(e, rec)
+		}
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.oracle {
+		if err := e.WithOracleMining(gc.oracleKey); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tip := range res.FinalTips {
+		mix(uint64(tip))
+	}
+	mix(uint64(res.HonestBlocks))
+	mix(uint64(res.AdversaryBlocks))
+	mix(uint64(res.Tree.Len()))
+	mix(uint64(res.Tree.Best()))
+	mix(uint64(res.Tree.MaxHeight()))
+	return h
+}
+
+// goldenCases spans the behavior space: every adversary class, the
+// Δ-delay scheduling extremes, adaptive corruption (the honest-set
+// resizing path), and the literal proof-of-work oracle path — alone and
+// combined with adaptive corruption, pinning that oracle queries cover
+// exactly the honest prefix of the player range.
+func goldenCases(t *testing.T) map[string]goldenCase {
+	t.Helper()
+	base := params.Params{N: 40, P: 0.005, Delta: 4, Nu: 0.3}
+	deep := params.Params{N: 40, P: 0.005, Delta: 8, Nu: 0.45}
+	oscillate := func(round int) float64 {
+		if (round/100)%2 == 0 {
+			return 0.45
+		}
+		return 0.1
+	}
+	switcher, err := adversary.NewSwitcher(300,
+		adversary.MaxDelay{},
+		&adversary.PrivateMining{MinForkDepth: 3},
+		&adversary.Balance{},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]goldenCase{
+		"passive": {cfg: engine.Config{Params: base, Rounds: 3000, Seed: 1}},
+		"max-delay": {cfg: engine.Config{Params: base, Rounds: 3000, Seed: 2,
+			Adversary: adversary.MaxDelay{}}},
+		"private-mining": {cfg: engine.Config{Params: deep, Rounds: 3000, Seed: 3,
+			Adversary: &adversary.PrivateMining{MinForkDepth: 3}}},
+		"switcher": {cfg: engine.Config{Params: deep, Rounds: 3000, Seed: 4,
+			Adversary: switcher}},
+		"selfish": {cfg: engine.Config{Params: base, Rounds: 3000, Seed: 5,
+			Adversary: &adversary.Selfish{}}},
+		"balance": {cfg: engine.Config{Params: deep, Rounds: 3000, Seed: 6,
+			Adversary: &adversary.Balance{}}},
+		"adaptive-nu": {cfg: engine.Config{Params: base, Rounds: 3000, Seed: 7,
+			NuSchedule: oscillate}},
+		"oracle": {cfg: engine.Config{Params: base, Rounds: 3000, Seed: 8},
+			oracle: true, oracleKey: 99},
+		"oracle-adaptive-nu": {cfg: engine.Config{Params: base, Rounds: 3000, Seed: 9,
+			NuSchedule: oscillate},
+			oracle: true, oracleKey: 99},
+	}
+}
+
+// goldenTraces holds the expected hash per case, captured at the
+// map-based baseline (see file comment). Regenerate by running
+// TestGoldenTraces with -v and copying the logged values — but only
+// after convincing yourself the semantic change is intended.
+var goldenTraces = map[string]uint64{
+	"passive":        0x75b8c8ca674e4dd0,
+	"max-delay":      0xf05ae2ef03d7038,
+	"private-mining": 0x3396014b2c3d259f,
+	"switcher":       0x69e41e22c3a570eb,
+	"selfish":        0x36c9618eb041f981,
+	"balance":        0x4519a465cff07bca,
+	"adaptive-nu":    0xbb76c7eddc274146,
+	// The oracle cases were captured after the honest-prefix fix (oracle
+	// queries cover e.tips[:honest], matching the statistical path and
+	// oracle.go's contract); they pin that semantics as canonical.
+	"oracle":             0x4a2c773edc09729b,
+	"oracle-adaptive-nu": 0xce628509774a384a,
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for name, cfg := range goldenCases(t) {
+		t.Run(name, func(t *testing.T) {
+			got := traceHash(t, cfg)
+			t.Logf("trace hash %q: %#x", name, got)
+			want, ok := goldenTraces[name]
+			if !ok {
+				t.Fatalf("no golden hash recorded for %q", name)
+			}
+			if got != want {
+				t.Errorf("trace hash = %#x, want %#x — the simulation is no longer bit-identical for fixed seeds", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenTracesStable re-runs one config twice in-process to separate
+// "golden mismatch because semantics changed" from "run-to-run
+// nondeterminism" (e.g. map-iteration order leaking into the trace).
+func TestGoldenTracesStable(t *testing.T) {
+	cfg := goldenCases(t)["max-delay"]
+	a := traceHash(t, cfg)
+	cfg = goldenCases(t)["max-delay"]
+	b := traceHash(t, cfg)
+	if a != b {
+		t.Fatalf("same config hashed %#x then %#x — nondeterminism in the engine", a, b)
+	}
+}
+
+// TestGoldenFinalTipsAgree pins a qualitative invariant alongside the
+// hashes: under the passive adversary with minimal delays, honest views
+// converge to a single tip wherever a Δ-quiet period ends the run (they
+// can differ by at most in-flight blocks otherwise).
+func TestGoldenFinalTipsAgree(t *testing.T) {
+	cfg := goldenCases(t)["passive"].cfg
+	e, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[blockchain.BlockID]struct{}{}
+	for _, tip := range res.FinalTips {
+		distinct[tip] = struct{}{}
+	}
+	if len(distinct) > cfg.Params.Delta+1 {
+		t.Errorf("%d distinct final tips under passive adversary — views failed to track broadcasts", len(distinct))
+	}
+}

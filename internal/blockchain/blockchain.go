@@ -5,6 +5,14 @@
 // mined blocks in a Tree (the global block DAG is a tree because every
 // block names one parent) and offers the prefix predicates that the
 // consistency property (Definition 1) is stated in.
+//
+// Storage is a flat arena indexed directly by BlockID: the mining
+// substrate hands out sequential IDs starting at 1 (genesis is 0), so
+// blocks[id] is a direct slice index — no hashing on the simulation hot
+// path. Every Add also maintains a skip pointer per block (binary-lifting
+// style, one pointer per node), so the ancestor predicates the
+// consistency checker hammers — AncestorAt, IsAncestor, CommonAncestor,
+// PrefixHolds — run in O(log height) instead of O(height) parent walks.
 package blockchain
 
 import (
@@ -49,9 +57,24 @@ var (
 // Tree is an append-only store of all blocks ever mined, rooted at
 // genesis. It is not safe for concurrent mutation; the engine serializes
 // writes per round.
+//
+// All per-block state lives in slices indexed by BlockID. IDs are
+// expected to be (nearly) dense — the arena grows to the largest ID seen
+// — which matches the sequential IDAllocator; sparse test IDs simply
+// leave nil holes.
 type Tree struct {
-	blocks   map[BlockID]*Block
-	children map[BlockID][]BlockID
+	// blocks[id] is the block with that ID, nil when absent.
+	blocks []*Block
+	// children[id] lists the direct children of id.
+	children [][]BlockID
+	// jump[id] is the skip pointer: an ancestor chosen so that following
+	// jump links from any block visits O(log height) nodes on the way to
+	// any target height (the one-pointer variant of binary lifting: the
+	// jump distance doubles exactly when the two previous jumps covered
+	// equal distances).
+	jump []BlockID
+	// count is the number of blocks present (the arena may have holes).
+	count int
 	// best is the highest block (ties keep the earlier arrival), updated
 	// incrementally on Add so Best is O(1).
 	best BlockID
@@ -61,19 +84,39 @@ type Tree struct {
 func NewTree() *Tree {
 	g := &Block{ID: GenesisID, Parent: GenesisID, Height: 0, Round: 0, Miner: -1, Honest: true}
 	return &Tree{
-		blocks:   map[BlockID]*Block{GenesisID: g},
-		children: map[BlockID][]BlockID{},
+		blocks:   []*Block{g},
+		children: [][]BlockID{nil},
+		jump:     []BlockID{GenesisID},
+		count:    1,
 		best:     GenesisID,
 	}
 }
 
-// Len returns the number of blocks including genesis.
-func (t *Tree) Len() int { return len(t.blocks) }
+// get returns the block with the given ID, or nil when absent.
+func (t *Tree) get(id BlockID) *Block {
+	if uint64(id) >= uint64(len(t.blocks)) {
+		return nil
+	}
+	return t.blocks[id]
+}
 
-// Get returns the block with the given ID.
+// Len returns the number of blocks including genesis.
+func (t *Tree) Len() int { return t.count }
+
+// Get returns the block with the given ID. The returned pointer is the
+// stored block itself and remains valid for the lifetime of the Tree.
 func (t *Tree) Get(id BlockID) (*Block, bool) {
-	b, ok := t.blocks[id]
-	return b, ok
+	b := t.get(id)
+	return b, b != nil
+}
+
+// grow extends the arena so that id is a valid index.
+func (t *Tree) grow(id BlockID) {
+	for uint64(len(t.blocks)) <= uint64(id) {
+		t.blocks = append(t.blocks, nil)
+		t.children = append(t.children, nil)
+		t.jump = append(t.jump, GenesisID)
+	}
 }
 
 // Add inserts a block. The parent must exist, the ID must be new and
@@ -83,11 +126,11 @@ func (t *Tree) Add(b *Block) error {
 	if b.ID == GenesisID {
 		return fmt.Errorf("%w: cannot re-add genesis", ErrDuplicateID)
 	}
-	if _, dup := t.blocks[b.ID]; dup {
+	if t.get(b.ID) != nil {
 		return fmt.Errorf("%w: %d", ErrDuplicateID, b.ID)
 	}
-	parent, ok := t.blocks[b.Parent]
-	if !ok {
+	parent := t.get(b.Parent)
+	if parent == nil {
 		return fmt.Errorf("%w: %d", ErrUnknownParent, b.Parent)
 	}
 	if b.Height == 0 {
@@ -95,8 +138,22 @@ func (t *Tree) Add(b *Block) error {
 	} else if b.Height != parent.Height+1 {
 		return fmt.Errorf("blockchain: block %d height %d, parent height %d", b.ID, b.Height, parent.Height)
 	}
+	t.grow(b.ID)
 	t.blocks[b.ID] = b
 	t.children[b.Parent] = append(t.children[b.Parent], b.ID)
+	t.count++
+	// Skip pointer: double the jump distance when the parent's last two
+	// jumps covered equal distances, else fall back to the parent. The
+	// jump target's height is a function of the block's height alone, so
+	// equal-height blocks always carry equal-height jump targets — which
+	// is what lets CommonAncestor advance both sides in lockstep.
+	jp := t.jump[b.Parent]
+	jjp := t.jump[jp]
+	if parent.Height-t.blocks[jp].Height == t.blocks[jp].Height-t.blocks[jjp].Height {
+		t.jump[b.ID] = jjp
+	} else {
+		t.jump[b.ID] = b.Parent
+	}
 	if b.Height > t.blocks[t.best].Height {
 		t.best = b.ID
 	}
@@ -109,8 +166,8 @@ func (t *Tree) Best() BlockID { return t.best }
 
 // Height returns the height of the block, or an error if unknown.
 func (t *Tree) Height(id BlockID) (int, error) {
-	b, ok := t.blocks[id]
-	if !ok {
+	b := t.get(id)
+	if b == nil {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownBlock, id)
 	}
 	return b.Height, nil
@@ -118,8 +175,8 @@ func (t *Tree) Height(id BlockID) (int, error) {
 
 // Chain returns the block IDs from genesis to tip inclusive.
 func (t *Tree) Chain(tip BlockID) ([]BlockID, error) {
-	b, ok := t.blocks[tip]
-	if !ok {
+	b := t.get(tip)
+	if b == nil {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownBlock, tip)
 	}
 	out := make([]BlockID, b.Height+1)
@@ -132,63 +189,76 @@ func (t *Tree) Chain(tip BlockID) ([]BlockID, error) {
 	}
 }
 
+// ancestorAt returns the ancestor of b at the given height, assuming
+// 0 ≤ height ≤ b.Height. It descends via skip pointers, falling back to
+// the parent link when a jump would overshoot — O(log height) steps.
+func (t *Tree) ancestorAt(b *Block, height int) *Block {
+	for b.Height > height {
+		if j := t.blocks[t.jump[b.ID]]; j.Height >= height {
+			b = j
+		} else {
+			b = t.blocks[b.Parent]
+		}
+	}
+	return b
+}
+
 // AncestorAt returns the ancestor of tip at the given height (genesis is
 // height 0). It errors when height exceeds tip's height.
 func (t *Tree) AncestorAt(tip BlockID, height int) (BlockID, error) {
-	b, ok := t.blocks[tip]
-	if !ok {
+	b := t.get(tip)
+	if b == nil {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownBlock, tip)
 	}
 	if height < 0 || height > b.Height {
 		return 0, fmt.Errorf("blockchain: height %d outside [0, %d]", height, b.Height)
 	}
-	for b.Height > height {
-		b = t.blocks[b.Parent]
-	}
-	return b.ID, nil
+	return t.ancestorAt(b, height).ID, nil
 }
 
 // IsAncestor reports whether a lies on the path from genesis to b
 // (a block is an ancestor of itself).
 func (t *Tree) IsAncestor(a, b BlockID) (bool, error) {
-	ba, ok := t.blocks[a]
-	if !ok {
+	ba := t.get(a)
+	if ba == nil {
 		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, a)
 	}
-	bb, ok := t.blocks[b]
-	if !ok {
+	bb := t.get(b)
+	if bb == nil {
 		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, b)
 	}
 	if ba.Height > bb.Height {
 		return false, nil
 	}
-	anc, err := t.AncestorAt(b, ba.Height)
-	if err != nil {
-		return false, err
-	}
-	return anc == a, nil
+	return t.ancestorAt(bb, ba.Height) == ba, nil
 }
 
 // CommonAncestor returns the deepest block that is an ancestor of both a
 // and b.
 func (t *Tree) CommonAncestor(a, b BlockID) (BlockID, error) {
-	ba, ok := t.blocks[a]
-	if !ok {
+	ba := t.get(a)
+	if ba == nil {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownBlock, a)
 	}
-	bb, ok := t.blocks[b]
-	if !ok {
+	bb := t.get(b)
+	if bb == nil {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownBlock, b)
 	}
-	for ba.Height > bb.Height {
-		ba = t.blocks[ba.Parent]
+	// Level the heights, then descend in lockstep: equal-height blocks
+	// have equal-height jump targets, so either both jumps stay above the
+	// common ancestor (take them) or both would overshoot (step parents).
+	if ba.Height > bb.Height {
+		ba = t.ancestorAt(ba, bb.Height)
+	} else if bb.Height > ba.Height {
+		bb = t.ancestorAt(bb, ba.Height)
 	}
-	for bb.Height > ba.Height {
-		bb = t.blocks[bb.Parent]
-	}
-	for ba.ID != bb.ID {
-		ba = t.blocks[ba.Parent]
-		bb = t.blocks[bb.Parent]
+	for ba != bb {
+		ja, jb := t.blocks[t.jump[ba.ID]], t.blocks[t.jump[bb.ID]]
+		if ja != jb {
+			ba, bb = ja, jb
+		} else {
+			ba, bb = t.blocks[ba.Parent], t.blocks[bb.Parent]
+		}
 	}
 	return ba.ID, nil
 }
@@ -198,28 +268,32 @@ func (t *Tree) CommonAncestor(a, b BlockID) (BlockID, error) {
 // predicate of Definition 1 with chop = T. A chop larger than the chain
 // length makes the predicate vacuously true.
 func (t *Tree) PrefixHolds(tipA, tipB BlockID, chop int) (bool, error) {
-	ba, ok := t.blocks[tipA]
-	if !ok {
+	ba := t.get(tipA)
+	if ba == nil {
 		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, tipA)
+	}
+	bb := t.get(tipB)
+	if bb == nil {
+		return false, fmt.Errorf("%w: %d", ErrUnknownBlock, tipB)
 	}
 	cut := ba.Height - chop
 	if cut <= 0 {
 		return true, nil // only genesis (or nothing) remains after chopping
 	}
-	anchor, err := t.AncestorAt(tipA, cut)
-	if err != nil {
-		return false, err
+	if cut > bb.Height {
+		return false, nil // chain(tipB) is too short to contain the prefix
 	}
-	return t.IsAncestor(anchor, tipB)
+	anchor := t.ancestorAt(ba, cut)
+	return t.ancestorAt(bb, cut) == anchor, nil
 }
 
 // Tips returns all blocks with no children, sorted by (height, ID) for
 // determinism.
 func (t *Tree) Tips() []BlockID {
 	var tips []BlockID
-	for id := range t.blocks {
-		if len(t.children[id]) == 0 {
-			tips = append(tips, id)
+	for id, b := range t.blocks {
+		if b != nil && len(t.children[id]) == 0 {
+			tips = append(tips, BlockID(id))
 		}
 	}
 	if len(tips) == 0 {
@@ -231,6 +305,9 @@ func (t *Tree) Tips() []BlockID {
 
 // Children returns the direct children of id (nil when none).
 func (t *Tree) Children(id BlockID) []BlockID {
+	if uint64(id) >= uint64(len(t.children)) {
+		return nil
+	}
 	kids := t.children[id]
 	out := make([]BlockID, len(kids))
 	copy(out, kids)
@@ -247,15 +324,15 @@ func (t *Tree) MaxHeight() int {
 // keep the current chain, matching the model in which an honest player's
 // longest chain grows by at most one block per round.
 func (t *Tree) Adopt(current, candidate BlockID) (BlockID, error) {
-	hc, err := t.Height(current)
-	if err != nil {
-		return 0, err
+	bc := t.get(current)
+	if bc == nil {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownBlock, current)
 	}
-	hn, err := t.Height(candidate)
-	if err != nil {
-		return 0, err
+	bn := t.get(candidate)
+	if bn == nil {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownBlock, candidate)
 	}
-	if hn > hc {
+	if bn.Height > bc.Height {
 		return candidate, nil
 	}
 	return current, nil

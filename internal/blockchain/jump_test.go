@@ -1,0 +1,123 @@
+package blockchain
+
+import (
+	"testing"
+
+	"neatbound/internal/rng"
+)
+
+// naiveAncestorAt is the O(height) reference walk the skip pointers
+// replaced.
+func naiveAncestorAt(t *Tree, tip BlockID, height int) BlockID {
+	b, _ := t.Get(tip)
+	for b.Height > height {
+		b, _ = t.Get(b.Parent)
+	}
+	return b.ID
+}
+
+// buildRandomTree grows a tree of n blocks whose parents are biased
+// toward recent blocks, producing long chains with occasional deep forks
+// — the shape real executions create.
+func buildRandomTree(t *testing.T, r *rng.Stream, n int) *Tree {
+	t.Helper()
+	tree := NewTree()
+	ids := []BlockID{GenesisID}
+	for i := 1; i <= n; i++ {
+		var parent BlockID
+		if r.Float64() < 0.9 {
+			// Extend one of the most recent blocks: long chains.
+			lo := len(ids) - 5
+			if lo < 0 {
+				lo = 0
+			}
+			parent = ids[lo+r.Intn(len(ids)-lo)]
+		} else {
+			parent = ids[r.Intn(len(ids))] // deep fork
+		}
+		b := &Block{ID: BlockID(i), Parent: parent, Honest: true}
+		if err := tree.Add(b); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, b.ID)
+	}
+	return tree
+}
+
+func TestJumpAncestorMatchesNaiveWalk(t *testing.T) {
+	r := rng.New(21)
+	tree := buildRandomTree(t, r, 3000)
+	for trial := 0; trial < 2000; trial++ {
+		tip := BlockID(r.Intn(3001))
+		b, ok := tree.Get(tip)
+		if !ok {
+			t.Fatal("missing block")
+		}
+		h := r.Intn(b.Height + 1)
+		got, err := tree.AncestorAt(tip, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveAncestorAt(tree, tip, h); got != want {
+			t.Fatalf("AncestorAt(%d, %d) = %d, want %d", tip, h, got, want)
+		}
+	}
+}
+
+func TestJumpCommonAncestorMatchesNaive(t *testing.T) {
+	r := rng.New(22)
+	tree := buildRandomTree(t, r, 2000)
+	naiveLCA := func(a, b BlockID) BlockID {
+		ba, _ := tree.Get(a)
+		bb, _ := tree.Get(b)
+		for ba.Height > bb.Height {
+			ba, _ = tree.Get(ba.Parent)
+		}
+		for bb.Height > ba.Height {
+			bb, _ = tree.Get(bb.Parent)
+		}
+		for ba.ID != bb.ID {
+			ba, _ = tree.Get(ba.Parent)
+			bb, _ = tree.Get(bb.Parent)
+		}
+		return ba.ID
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := BlockID(r.Intn(2001))
+		b := BlockID(r.Intn(2001))
+		got, err := tree.CommonAncestor(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naiveLCA(a, b); got != want {
+			t.Fatalf("CommonAncestor(%d, %d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+// TestJumpDepthLogarithmic asserts the point of the skip pointers: on a
+// linear chain of 1<<14 blocks, an ancestor query from the tip to
+// genesis must visit O(log height) nodes, not O(height).
+func TestJumpDepthLogarithmic(t *testing.T) {
+	tree := NewTree()
+	parent := GenesisID
+	const n = 1 << 14
+	for i := 1; i <= n; i++ {
+		if err := tree.Add(&Block{ID: BlockID(i), Parent: parent}); err != nil {
+			t.Fatal(err)
+		}
+		parent = BlockID(i)
+	}
+	// Count hops by replaying ancestorAt's descent.
+	b, _ := tree.Get(parent)
+	hops := 0
+	for b.Height > 0 {
+		if j, _ := tree.Get(tree.jump[b.ID]); j.Height >= 0 {
+			b = j
+		}
+		hops++
+		if hops > 4*15 { // generous 4·log₂(n) bound
+			t.Fatalf("descent from height %d took > %d hops — jump pointers degenerate", n, hops)
+		}
+	}
+}

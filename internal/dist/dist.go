@@ -1,0 +1,142 @@
+// Package dist provides exact discrete-distribution samplers driven by
+// the repo's deterministic rng.Stream. Its centerpiece is the binomial
+// sampler behind the mining substrate: one binom(n, p) draw per round
+// replaces n independent Bernoulli queries, which is what makes
+// simulating Nakamoto's protocol at n = 10⁵ players tractable (the
+// per-round mining cost becomes O(1) instead of O(n)).
+//
+// Both sampling paths are exact — they produce the binomial law itself,
+// not an approximation — so the statistical analysis built on top (the
+// H/H₁/N round classification, Eq. 27's A(t₀, t₁) process) is untouched
+// by the algorithmic shortcut. TestBinomialMatchesBernoulliLoop
+// cross-validates against the naive per-trial loop.
+package dist
+
+import (
+	"math"
+
+	"neatbound/internal/rng"
+)
+
+// btrsThreshold is the n·p value above which Sample switches from CDF
+// inversion (O(n·p) expected iterations) to the BTRS rejection sampler
+// (O(1) expected iterations). 10 is the validity floor of the BTRS
+// constants in Hörmann's derivation.
+const btrsThreshold = 10
+
+// Binomial is the distribution of successes in N independent trials of
+// probability P. The zero value samples the constant 0.
+type Binomial struct {
+	// N is the number of trials.
+	N int
+	// P is the per-trial success probability. Sample clamps it to
+	// [0, 1]; a NaN P samples the constant 0.
+	P float64
+}
+
+// Mean returns N·P.
+func (b Binomial) Mean() float64 { return float64(b.N) * b.P }
+
+// Variance returns N·P·(1−P).
+func (b Binomial) Variance() float64 { return float64(b.N) * b.P * (1 - b.P) }
+
+// Sample draws one binom(N, P) variate from r. The draw is exact for all
+// parameterizations: small means use CDF inversion, large means use the
+// BTRS transformed-rejection sampler, and p > ½ is reflected through
+// n − binom(n, 1−p). Expected work is O(min(n·p, 1) + 1) — never O(n).
+func (b Binomial) Sample(r *rng.Stream) int {
+	n, p := b.N, b.P
+	// The !(p > 0) form also rejects NaN, which would otherwise slip
+	// past every threshold below and spin the rejection sampler forever.
+	if n <= 0 || !(p > 0) {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - Binomial{N: n, P: 1 - p}.Sample(r)
+	}
+	if float64(n)*p < btrsThreshold {
+		return inversion(r, n, p)
+	}
+	return btrs(r, n, p)
+}
+
+// inversion walks the binomial CDF from k = 0: a single uniform is
+// compared against the running mass, with the pmf updated by the
+// recurrence f(k+1) = f(k)·(n−k)/(k+1)·(p/q). Valid for n·p small enough
+// that q^n does not underflow (n·p < 10 ⇒ q^n ≥ e^{-10}·(1+o(1))).
+func inversion(r *rng.Stream, n int, p float64) int {
+	q := 1 - p
+	s := p / q
+	f := math.Pow(q, float64(n))
+	u := r.Float64()
+	k := 0
+	for u > f {
+		u -= f
+		k++
+		if k > n {
+			// Float round-off exhausted the mass past k = n; clamp.
+			return n
+		}
+		f *= s * float64(n-k+1) / float64(k)
+	}
+	return k
+}
+
+// btrs is Hörmann's BTRS sampler (transformed rejection with squeeze,
+// "The Generation of Binomial Random Variates", JSCS 1993): a candidate
+// k = ⌊(2a/us + b)·u + c⌋ from a transformed uniform is accepted either
+// by the cheap squeeze (step 4) or by the exact log-pmf comparison
+// (step 7), so the output law is exactly binom(n, p). Requires p ≤ ½ and
+// n·p ≥ 10. Expected uniforms per draw is < 3 for all valid (n, p).
+func btrs(r *rng.Stream, n int, p float64) int {
+	q := 1 - p
+	fn := float64(n)
+	spq := math.Sqrt(fn * p * q)
+	bb := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*bb + 0.01*p
+	c := fn*p + 0.5
+	vr := 0.92 - 4.2/bb
+
+	// Constants of the exact test, hoisted out of the rejection loop.
+	alpha := (2.83 + 5.1/bb) * spq
+	lpq := math.Log(p / q)
+	m := math.Floor((fn + 1) * p)
+	hm, _ := math.Lgamma(m + 1)
+	hnm, _ := math.Lgamma(fn - m + 1)
+	h := hm + hnm
+
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+bb)*u + c)
+		if k < 0 || k > fn {
+			continue
+		}
+		// Squeeze: accepts ~86% of candidates without logs.
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		lk, _ := math.Lgamma(k + 1)
+		lnk, _ := math.Lgamma(fn - k + 1)
+		if math.Log(v*alpha/(a/(us*us)+bb)) <= h-lk-lnk+(k-m)*lpq {
+			return int(k)
+		}
+	}
+}
+
+// BernoulliCount is the naive O(n) reference: n independent Bernoulli(p)
+// draws. It exists for cross-validation tests and ablation benchmarks;
+// the simulation hot path must never call it.
+func BernoulliCount(r *rng.Stream, n int, p float64) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			k++
+		}
+	}
+	return k
+}

@@ -121,12 +121,35 @@ type Engine struct {
 	advRng  *rng.Stream
 	mineRg  *rng.Stream
 	tips    []blockchain.BlockID // one view per player; [0, honest) are honest
-	round   int
+	// tipHeights mirrors tips with each view's chain height, so the hot
+	// path never needs a tree lookup to compare chains.
+	tipHeights []int
+	round      int
 	// oracle, when non-nil, replaces binomial sampling with literal hash
 	// queries (see WithOracleMining).
 	oracle *oracleMiner
 	// cached stats
 	honestBlocks, adversaryBlocks int
+
+	// Incremental honest-view statistics. The per-round RoundRecord
+	// fields (MaxHonestHeight, MinHonestHeight, DistinctTips) used to be
+	// three O(players) scans with a fresh map each round; they are now
+	// maintained event-wise on every tip change and honest-set resize.
+	//
+	// heightCount[h] counts honest views whose chain height is h; minH
+	// and maxH bracket its support (heights only grow, so minH advances
+	// amortized O(1)); tracked is the number of views currently counted
+	// (= honest). tipRefs[id] counts honest views sitting on tip id and
+	// distinct counts its non-zero entries.
+	heightCount []int
+	minH, maxH  int
+	tracked     int
+	tipRefs     []int32
+	distinct    int
+	// winnersBuf is the reusable scratch for per-round mining winners.
+	winnersBuf []int
+	// ctx is the adversary's handle, allocated once per engine.
+	ctx Context
 }
 
 // New validates cfg and builds an engine.
@@ -157,22 +180,103 @@ func New(cfg Config) (*Engine, error) {
 	}
 	root := rng.New(cfg.Seed)
 	e := &Engine{
-		cfg:     cfg,
-		pr:      cfg.Params,
-		tree:    blockchain.NewTree(),
-		net:     net,
-		alloc:   mining.NewIDAllocator(),
-		players: players,
-		honest:  honest,
-		adv:     adv,
-		advRng:  root.Split(1),
-		mineRg:  root.Split(2),
-		tips:    make([]blockchain.BlockID, players),
+		cfg:        cfg,
+		pr:         cfg.Params,
+		tree:       blockchain.NewTree(),
+		net:        net,
+		alloc:      mining.NewIDAllocator(),
+		players:    players,
+		honest:     honest,
+		adv:        adv,
+		advRng:     root.Split(1),
+		mineRg:     root.Split(2),
+		tips:       make([]blockchain.BlockID, players),
+		tipHeights: make([]int, players),
+		// All honest views start at genesis: one distinct tip, all mass
+		// at height 0.
+		heightCount: []int{honest},
+		tracked:     honest,
+		tipRefs:     []int32{int32(honest)},
+		distinct:    1,
 	}
 	for i := range e.tips {
 		e.tips[i] = blockchain.GenesisID
 	}
+	e.ctx = Context{e: e}
 	return e, nil
+}
+
+// statsAdd counts an honest view at tip id, height h.
+func (e *Engine) statsAdd(id blockchain.BlockID, h int) {
+	for len(e.heightCount) <= h {
+		e.heightCount = append(e.heightCount, 0)
+	}
+	if e.tracked == 0 {
+		e.minH, e.maxH = h, h
+	} else {
+		if h > e.maxH {
+			e.maxH = h
+		}
+		if h < e.minH {
+			e.minH = h
+		}
+	}
+	e.tracked++
+	e.heightCount[h]++
+	for uint64(len(e.tipRefs)) <= uint64(id) {
+		e.tipRefs = append(e.tipRefs, 0)
+	}
+	e.tipRefs[id]++
+	if e.tipRefs[id] == 1 {
+		e.distinct++
+	}
+}
+
+// statsRemove uncounts an honest view at tip id, height h.
+func (e *Engine) statsRemove(id blockchain.BlockID, h int) {
+	e.tracked--
+	e.heightCount[h]--
+	if e.heightCount[h] == 0 && e.tracked > 0 {
+		// The support brackets only shrink inward; each loop step is paid
+		// for by an earlier height increase, so the amortized cost is O(1).
+		if h == e.maxH {
+			for e.maxH > e.minH && e.heightCount[e.maxH] == 0 {
+				e.maxH--
+			}
+		}
+		if h == e.minH {
+			for e.minH < e.maxH && e.heightCount[e.minH] == 0 {
+				e.minH++
+			}
+		}
+	}
+	e.tipRefs[id]--
+	if e.tipRefs[id] == 0 {
+		e.distinct--
+	}
+}
+
+// setTip moves player i's view to tip id at height h, keeping the
+// incremental statistics in sync when i is currently honest.
+func (e *Engine) setTip(i int, id blockchain.BlockID, h int) {
+	if i < e.honest {
+		e.statsRemove(e.tips[i], e.tipHeights[i])
+		e.statsAdd(id, h)
+	}
+	e.tips[i] = id
+	e.tipHeights[i] = h
+}
+
+// resizeHonest moves the honest/corrupted boundary to newHonest,
+// entering or evicting the boundary players' views from the statistics.
+func (e *Engine) resizeHonest(newHonest int) {
+	for i := newHonest; i < e.honest; i++ {
+		e.statsRemove(e.tips[i], e.tipHeights[i])
+	}
+	for i := e.honest; i < newHonest; i++ {
+		e.statsAdd(e.tips[i], e.tipHeights[i])
+	}
+	e.honest = newHonest
 }
 
 // Params returns the engine's parameterization.
@@ -225,27 +329,15 @@ func (e *Engine) DistinctTips() []blockchain.BlockID {
 	return out
 }
 
-// MaxHonestHeight returns the tallest honest view.
-func (e *Engine) MaxHonestHeight() int {
-	max := 0
-	for _, t := range e.tips[:e.honest] {
-		if h, _ := e.tree.Height(t); h > max {
-			max = h
-		}
-	}
-	return max
-}
+// DistinctTipCount returns the number of distinct honest chain tips in
+// O(1), from the incrementally maintained refcounts.
+func (e *Engine) DistinctTipCount() int { return e.distinct }
 
-// minHonestHeight returns the shortest honest view.
-func (e *Engine) minHonestHeight() int {
-	min := int(^uint(0) >> 1)
-	for _, t := range e.tips[:e.honest] {
-		if h, _ := e.tree.Height(t); h < min {
-			min = h
-		}
-	}
-	return min
-}
+// MaxHonestHeight returns the tallest honest view in O(1).
+func (e *Engine) MaxHonestHeight() int { return e.maxH }
+
+// minHonestHeight returns the shortest honest view in O(1).
+func (e *Engine) minHonestHeight() int { return e.minH }
 
 // Run executes cfg.Rounds rounds and returns the result.
 func (e *Engine) Run() (*Result, error) {
@@ -273,7 +365,7 @@ func (e *Engine) Run() (*Result, error) {
 func (e *Engine) step() (RoundRecord, error) {
 	e.round++
 	t := e.round
-	ctx := &Context{e: e}
+	ctx := &e.ctx
 
 	// 0. Adaptive corruption: the adversary picks this round's corrupted
 	// set (a tail segment of the player range).
@@ -287,22 +379,29 @@ func (e *Engine) step() (RoundRecord, error) {
 		if advCount > e.pr.N-1 {
 			advCount = e.pr.N - 1
 		}
-		e.honest = e.pr.N - advCount
-		if e.honest > e.players {
-			e.honest = e.players
+		honest := e.pr.N - advCount
+		if honest > e.players {
+			honest = e.players
 		}
+		e.resizeHonest(honest)
 		nu = float64(e.pr.N-e.honest) / float64(e.pr.N)
 	}
 
 	// 1. Delivery: every view-maintaining player receives scheduled
-	// messages and adopts the longest chain seen.
+	// messages and adopts the longest chain seen (the longest-chain rule
+	// inlined: a candidate wins only when strictly higher; ties keep the
+	// current chain).
 	for i := 0; i < e.players; i++ {
 		for _, m := range e.net.DeliverTo(i, t) {
-			tip, err := e.tree.Adopt(e.tips[i], m.Block.ID)
-			if err != nil {
-				return RoundRecord{}, fmt.Errorf("engine: round %d adopt: %w", t, err)
+			// Every delivered block must be in the global tree (an O(1)
+			// arena probe); a strategy Sending an unregistered block is a
+			// bug that must surface, not be silently out-adopted.
+			if _, ok := e.tree.Get(m.Block.ID); !ok {
+				return RoundRecord{}, fmt.Errorf("engine: round %d adopt: %w %d", t, blockchain.ErrUnknownBlock, m.Block.ID)
 			}
-			e.tips[i] = tip
+			if m.Block.Height > e.tipHeights[i] {
+				e.setTip(i, m.Block.ID, m.Block.Height)
+			}
 		}
 	}
 
@@ -310,9 +409,11 @@ func (e *Engine) step() (RoundRecord, error) {
 	policy := e.adv.HonestDelayPolicy(ctx)
 	var winners []int
 	if e.oracle != nil {
-		winners = e.oracle.mineRound(e.tips)
+		// Query only the honest prefix, mirroring the statistical path:
+		// corrupted players' queries are the adversary's (step 3).
+		winners = e.oracle.mineRound(e.tips[:e.honest], e.winnersBuf)
 	} else {
-		winners = mining.MineRound(e.mineRg, e.honest, e.pr.P)
+		winners = mining.MineRoundInto(e.mineRg, e.honest, e.pr.P, e.winnersBuf)
 	}
 	for _, i := range winners {
 		parent := e.tips[i]
@@ -326,11 +427,14 @@ func (e *Engine) step() (RoundRecord, error) {
 		if err := e.tree.Add(b); err != nil {
 			return RoundRecord{}, fmt.Errorf("engine: round %d honest add: %w", t, err)
 		}
-		e.tips[i] = b.ID
+		e.setTip(i, b.ID, b.Height)
 		e.honestBlocks++
 		if err := e.net.Broadcast(network.Message{Block: b, From: i, SentRound: t}, t, policy); err != nil {
 			return RoundRecord{}, fmt.Errorf("engine: round %d broadcast: %w", t, err)
 		}
+	}
+	if winners != nil {
+		e.winnersBuf = winners[:0] // retain the scratch buffer's backing
 	}
 
 	// 3. Adversary: sequential queries, then strategy action.
@@ -343,9 +447,9 @@ func (e *Engine) step() (RoundRecord, error) {
 		Nu:              nu,
 		HonestMined:     len(winners),
 		AdversaryMined:  advMined,
-		MaxHonestHeight: e.MaxHonestHeight(),
-		MinHonestHeight: e.minHonestHeight(),
-		DistinctTips:    len(e.DistinctTips()),
+		MaxHonestHeight: e.maxH,
+		MinHonestHeight: e.minH,
+		DistinctTips:    e.distinct,
 	}, nil
 }
 

@@ -33,9 +33,10 @@ func newOracleMiner(p float64, key uint64, nonces *rng.Stream) (*oracleMiner, er
 }
 
 // mineRound performs one parallel query per honest miner against its own
-// chain tip and returns the indices of the winners, sorted.
-func (m *oracleMiner) mineRound(tips []blockchain.BlockID) []int {
-	var winners []int
+// chain tip and returns the indices of the winners, sorted. Winners are
+// appended to buf[:0] so the round loop can reuse one buffer.
+func (m *oracleMiner) mineRound(tips []blockchain.BlockID, buf []int) []int {
+	winners := buf[:0]
 	for i, tip := range tips {
 		nonce := m.nonces.Uint64()
 		if _, ok := m.oracle.Query(tip, nonce, ""); ok {

@@ -108,28 +108,36 @@ func MineCount(r *rng.Stream, count int, p float64) int {
 // slice length is binom(count, p)-distributed and the identity set is a
 // uniform subset, matching count independent Bernoulli(p) queries.
 func MineRound(r *rng.Stream, count int, p float64) []int {
+	return MineRoundInto(r, count, p, nil)
+}
+
+// MineRoundInto is MineRound with a caller-provided scratch buffer: the
+// winner set is appended to buf[:0] so a round loop can reuse one
+// allocation forever. The RNG draw sequence and the returned set are
+// identical to MineRound's for the same stream state.
+func MineRoundInto(r *rng.Stream, count int, p float64, buf []int) []int {
 	k := MineCount(r, count, p)
+	out := buf[:0]
 	if k == 0 {
-		return nil
+		return out
 	}
 	if k == count {
-		out := make([]int, count)
-		for i := range out {
-			out[i] = i
+		for i := 0; i < count; i++ {
+			out = append(out, i)
 		}
 		return out
 	}
-	// Floyd's algorithm for a uniform k-subset of [0, count).
-	chosen := make(map[int]struct{}, k)
+	// Floyd's algorithm for a uniform k-subset of [0, count). Duplicate
+	// detection is a linear scan over the k picks so far: k is
+	// binomial-small, so this beats hashing and allocates nothing.
 	for j := count - k; j < count; j++ {
 		v := r.Intn(j + 1)
-		if _, dup := chosen[v]; dup {
-			v = j
+		for _, x := range out {
+			if x == v {
+				v = j
+				break
+			}
 		}
-		chosen[v] = struct{}{}
-	}
-	out := make([]int, 0, k)
-	for v := range chosen {
 		out = append(out, v)
 	}
 	sortInts(out)

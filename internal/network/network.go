@@ -10,11 +10,20 @@
 // announcements go through Send, which is unconstrained in time — the
 // adversary controls its corrupted players outright, so withholding a
 // block is modeled as simply not sending it yet.
+//
+// The fabric is a ring of Δ+1 round slots (indexed round mod Δ+1), each
+// holding one reusable message slice per recipient: in the engine's
+// steady state — every slot fully drained each round — enqueue and
+// delivery are append/reset operations on retained buffers, with no map
+// churn and no per-delivery sort (messages are appended in delivery
+// order and re-sorted only if an out-of-order arrival is detected). Far
+// future adversarial sends that outrun the ring (beyond Δ+1 rounds
+// ahead, i.e. withheld blocks) spill into an overflow map and are merged
+// back at delivery.
 package network
 
 import (
 	"fmt"
-	"sort"
 
 	"neatbound/internal/blockchain"
 )
@@ -27,6 +36,18 @@ type Message struct {
 	From int
 	// SentRound is the round the message entered the network.
 	SentRound int
+}
+
+// messageLess orders messages by (sent round, block ID, sender) — the
+// deterministic delivery order DeliverTo guarantees.
+func messageLess(a, b Message) bool {
+	if a.SentRound != b.SentRound {
+		return a.SentRound < b.SentRound
+	}
+	if a.Block.ID != b.Block.ID {
+		return a.Block.ID < b.Block.ID
+	}
+	return a.From < b.From
 }
 
 // DelayPolicy is the adversary's scheduling interface for honest
@@ -97,13 +118,33 @@ func (d HashedDelay) DeliveryRound(m Message, recipient int) int {
 // ParallelSafe implements the marker interface.
 func (HashedDelay) ParallelSafe() {}
 
+// slot is one ring entry: the undelivered messages of a single round.
+type slot struct {
+	// round is the absolute round this slot currently represents; -1
+	// until first used. A slot is recycled to a new round only when it
+	// has no pending messages.
+	round int
+	// pending counts undelivered messages across all recipients.
+	pending int
+	// byRecipient[i] holds recipient i's messages for this round. The
+	// slices are retained across recycles (reset to length 0), so the
+	// steady state allocates nothing.
+	byRecipient [][]Message
+}
+
 // Network is the round-based Δ-delay message fabric. It is not safe for
 // concurrent use; the engine drives it from the round loop.
 type Network struct {
 	players int
 	delta   int
-	// inbox[r][recipient] holds messages scheduled for delivery at round r.
-	inbox map[int]map[int][]Message
+	// ring holds the Δ+1 in-window round slots (honest deliveries always
+	// land within [sent+1, sent+Δ], so a drained-every-round caller never
+	// leaves the ring).
+	ring []slot
+	// overflow holds messages whose delivery round could not claim a ring
+	// slot — adversarial sends scheduled beyond the ring horizon. Keyed
+	// by round, then recipient.
+	overflow map[int]map[int][]Message
 	// pending counts undelivered messages, for invariant checks.
 	pending int
 	// stats
@@ -119,11 +160,16 @@ func New(players, delta int) (*Network, error) {
 	if delta < 1 {
 		return nil, fmt.Errorf("network: Δ = %d must be ≥ 1", delta)
 	}
-	return &Network{
-		players: players,
-		delta:   delta,
-		inbox:   map[int]map[int][]Message{},
-	}, nil
+	n := &Network{
+		players:  players,
+		delta:    delta,
+		ring:     make([]slot, delta+1),
+		overflow: map[int]map[int][]Message{},
+	}
+	for i := range n.ring {
+		n.ring[i].round = -1
+	}
+	return n, nil
 }
 
 // Players returns the number of connected nodes.
@@ -156,12 +202,30 @@ func (n *Network) clampDelivery(sent, round int) int {
 
 // enqueue schedules m for recipient at round r.
 func (n *Network) enqueue(m Message, recipient, r int) {
-	byRecipient, ok := n.inbox[r]
-	if !ok {
-		byRecipient = map[int][]Message{}
-		n.inbox[r] = byRecipient
+	s := &n.ring[r%len(n.ring)]
+	if s.round != r {
+		if s.pending == 0 {
+			// Recycle the slot for the new round, keeping its buffers.
+			s.round = r
+			if s.byRecipient == nil {
+				s.byRecipient = make([][]Message, n.players)
+			}
+		} else {
+			// The slot still holds an undelivered earlier (or later)
+			// round: spill to the overflow map instead of evicting.
+			byRecipient, ok := n.overflow[r]
+			if !ok {
+				byRecipient = map[int][]Message{}
+				n.overflow[r] = byRecipient
+			}
+			byRecipient[recipient] = append(byRecipient[recipient], m)
+			n.pending++
+			n.sent++
+			return
+		}
 	}
-	byRecipient[recipient] = append(byRecipient[recipient], m)
+	s.byRecipient[recipient] = append(s.byRecipient[recipient], m)
+	s.pending++
 	n.pending++
 	n.sent++
 }
@@ -191,7 +255,7 @@ func (n *Network) Broadcast(m Message, round int, policy DelayPolicy) error {
 }
 
 // broadcastParallel computes delivery rounds concurrently, then enqueues
-// sequentially (the inbox map is not concurrent).
+// sequentially (the slot buffers are not concurrent).
 func (n *Network) broadcastParallel(m Message, policy DelayPolicy) {
 	rounds := make([]int, n.players)
 	const chunk = 1024
@@ -247,29 +311,47 @@ func (n *Network) Send(m Message, recipient, deliverRound int) error {
 
 // DeliverTo removes and returns the messages due for recipient at round,
 // in a deterministic order (by sent round, then block ID, then sender).
+//
+// The returned slice aliases an internal buffer that is reused once the
+// same ring slot cycles to a later round (≥ Δ+1 rounds on): consume it
+// before enqueueing into that future round, as the engine's
+// deliver-then-mine round structure does, or copy it out.
 func (n *Network) DeliverTo(recipient, round int) []Message {
-	byRecipient, ok := n.inbox[round]
-	if !ok {
-		return nil
+	var msgs []Message
+	ringCount := 0
+	s := &n.ring[round%len(n.ring)]
+	if s.round == round {
+		msgs = s.byRecipient[recipient]
+		ringCount = len(msgs)
 	}
-	msgs := byRecipient[recipient]
+	// Merge any overflow spill for this (round, recipient).
+	if byRecipient, ok := n.overflow[round]; ok {
+		if extra, ok := byRecipient[recipient]; ok {
+			msgs = append(msgs, extra...)
+			delete(byRecipient, recipient)
+			if len(byRecipient) == 0 {
+				delete(n.overflow, round)
+			}
+		}
+	}
 	if len(msgs) == 0 {
 		return nil
 	}
-	delete(byRecipient, recipient)
-	if len(byRecipient) == 0 {
-		delete(n.inbox, round)
+	// Appends arrive in (sent round, block ID) order on the engine's
+	// path, so the buffer is already sorted; re-sort (insertion, in
+	// place) only when an out-of-order adversarial schedule is detected.
+	for i := 1; i < len(msgs); i++ {
+		if messageLess(msgs[i], msgs[i-1]) {
+			for j := i; j > 0 && messageLess(msgs[j], msgs[j-1]); j-- {
+				msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
+			}
+		}
 	}
-	sort.Slice(msgs, func(i, j int) bool {
-		a, b := msgs[i], msgs[j]
-		if a.SentRound != b.SentRound {
-			return a.SentRound < b.SentRound
-		}
-		if a.Block.ID != b.Block.ID {
-			return a.Block.ID < b.Block.ID
-		}
-		return a.From < b.From
-	})
+	if s.round == round {
+		// Hand the (possibly grown) buffer back to the slot for reuse.
+		s.byRecipient[recipient] = msgs[:0]
+		s.pending -= ringCount
+	}
 	n.pending -= len(msgs)
 	n.delivered += len(msgs)
 	return msgs
@@ -283,7 +365,12 @@ func (n *Network) OldestPendingRound() (int, bool) {
 		return 0, false
 	}
 	first := int(^uint(0) >> 1)
-	for r, byRecipient := range n.inbox {
+	for i := range n.ring {
+		if s := &n.ring[i]; s.pending > 0 && s.round < first {
+			first = s.round
+		}
+	}
+	for r, byRecipient := range n.overflow {
 		if len(byRecipient) > 0 && r < first {
 			first = r
 		}

@@ -112,12 +112,24 @@ func TestQuickAlphaMonotoneInP(t *testing.T) {
 		if p1 > p2 {
 			p1, p2 = p2, p1
 		}
-		if p1 == p2 {
+		if p2-p1 < 1e-9 {
+			// Inputs this close can tie in float64 after the Expm1/Log1p
+			// round trip; strict monotonicity is only meaningful for
+			// separated hardness values.
 			return true
 		}
 		a := Params{N: 100, P: p1, Delta: 2, Nu: 0.3}
 		b := Params{N: 100, P: p2, Delta: 2, Nu: 0.3}
-		return a.Alpha() < b.Alpha()
+		if a.Alpha() > b.Alpha() {
+			return false
+		}
+		if a.Alpha() == b.Alpha() {
+			// α saturates at 1 once µn·p ≫ 1 (the gap is below one ulp);
+			// strict monotonicity must then show up in the complementary
+			// ᾱ = 1 − α, which stays fully resolved.
+			return a.AlphaBar() > b.AlphaBar()
+		}
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -96,7 +96,11 @@ func TestReplicatedViolationRateSeparation(t *testing.T) {
 		cfg := Config{
 			N: 40, Delta: 8,
 			NuValues: []float64{0.45}, CValues: []float64{c},
-			Rounds: 15000, Seed: 9, T: tee, Workers: 4,
+			// Sample densely: private-mining reorgs doom a view only for a
+			// few rounds before publication, so sparse snapshots (the
+			// Rounds/50 default) can miss every violation window in an
+			// unlucky run regardless of run length.
+			Rounds: 15000, Seed: 9, T: tee, SampleEvery: 25, Workers: 4,
 			NewAdversary: func() engine.Adversary {
 				return &adversary.PrivateMining{MinForkDepth: 4}
 			},

@@ -236,8 +236,12 @@ func Simulate(cfg SimulationConfig) (SimulationReport, error) {
 		return SimulationReport{}, err
 	}
 	tree := res.Tree
-	tips := tree.Tips()
-	best := tips[len(tips)-1]
+	// Best() replaces the former full-arena Tips() scan + sort. Both pick
+	// a maximal-height tip, but they break ties differently (Tips took
+	// the largest ID, Best keeps the first block to reach the height), so
+	// ChainQuality can be scored on a different — equally tall — chain
+	// when the run ends mid-race.
+	best := tree.Best()
 	quality, err := metrics.ChainQuality(tree, best, 0)
 	if err != nil {
 		return SimulationReport{}, err
