@@ -27,13 +27,18 @@ import (
 type entry struct {
 	Label string `json:"label"`
 	Date  string `json:"date"`
-	// Configuration of the measured run.
+	// Configuration of the measured run. Shards is the engine's
+	// delivery-phase parallelism (0/1 = serial); Cores records the
+	// GOMAXPROCS the measurement ran under, without which a
+	// serial-vs-sharded comparison is meaningless.
 	N           int     `json:"n"`
 	P           float64 `json:"p"`
 	Delta       int     `json:"delta"`
 	Nu          float64 `json:"nu"`
 	RoundsPerOp int     `json:"rounds_per_op"`
 	Iterations  int     `json:"iterations"`
+	Shards      int     `json:"shards"`
+	Cores       int     `json:"cores"`
 	// Results, normalized per simulated round.
 	RoundsPerSec   float64 `json:"rounds_per_sec"`
 	NsPerRound     float64 `json:"ns_per_round"`
@@ -57,6 +62,7 @@ func main() {
 		nu     = flag.Float64("nu", 0.3, "adversarial fraction ν")
 		rounds = flag.Int("rounds", 1000, "rounds per simulation op")
 		iters  = flag.Int("iters", 30, "simulation ops to average over")
+		shards = flag.Int("shards", 0, "engine delivery shards (0 = serial)")
 	)
 	flag.Parse()
 
@@ -64,7 +70,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	e, err := measure(pr, *rounds, *iters)
+	e, err := measure(pr, *rounds, *iters, *shards)
 	if err != nil {
 		fatal(err)
 	}
@@ -102,13 +108,13 @@ func main() {
 // measure times iters runs of a rounds-long simulation (the
 // BenchmarkSimulationRound body) and reports per-round cost. Allocation
 // counts come from runtime.MemStats deltas, matching -benchmem.
-func measure(pr params.Params, rounds, iters int) (entry, error) {
+func measure(pr params.Params, rounds, iters, shards int) (entry, error) {
 	if iters < 1 || rounds < 1 {
 		return entry{}, fmt.Errorf("benchjson: iters and rounds must be ≥ 1")
 	}
 	run := func(seed uint64) error {
 		_, err := neatbound.Simulate(neatbound.SimulationConfig{
-			Params: pr, Rounds: rounds, Seed: seed, T: 6,
+			Params: pr, Rounds: rounds, Seed: seed, T: 6, Shards: shards,
 		})
 		return err
 	}
@@ -132,6 +138,7 @@ func measure(pr params.Params, rounds, iters int) (entry, error) {
 	return entry{
 		N: pr.N, P: pr.P, Delta: pr.Delta, Nu: pr.Nu,
 		RoundsPerOp: rounds, Iterations: iters,
+		Shards: shards, Cores: runtime.GOMAXPROCS(0),
 		RoundsPerSec:   total / elapsed.Seconds(),
 		NsPerRound:     float64(elapsed.Nanoseconds()) / total,
 		AllocsPerRound: float64(m1.Mallocs-m0.Mallocs) / total,

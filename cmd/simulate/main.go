@@ -52,6 +52,7 @@ func run(args []string) error {
 	advName := fs.String("adversary", "max-delay", "strategy: passive|max-delay|private|balance|selfish")
 	forkDepth := fs.Int("fork-depth", 4, "private adversary's target fork depth")
 	tee := fs.Int("T", 8, "consistency chop parameter (Definition 1)")
+	shards := fs.Int("shards", 0, "engine delivery shards (0 = serial; any value is bit-identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +74,7 @@ func run(args []string) error {
 
 	rep, err := neatbound.Simulate(neatbound.SimulationConfig{
 		Params: pr, Rounds: *rounds, Seed: *seed, Adversary: adv, T: *tee,
+		Shards: *shards,
 	})
 	if err != nil {
 		return err

@@ -1,13 +1,23 @@
-// Command sweep runs a (ν × c) grid of Δ-delay protocol simulations in
-// parallel and prints, per cell, the consistency outcome and the Lemma-1
-// ledger — the empirical counterpart of Figure 1's curves.
+// Command sweep runs a (ν × c) grid of Δ-delay protocol simulations on a
+// parallel job queue and prints, per cell, the consistency outcome and
+// the Lemma-1 ledger — the empirical counterpart of Figure 1's curves.
 //
 // Usage:
 //
 //	sweep -n 40 -delta 8 -nu 0.2,0.3,0.45 -c 0.5,1,2,5,25 -rounds 20000 -adversary private
+//
+// With -replicates R > 1 each cell runs R times with independent seeds
+// and is reported with Wilson confidence bounds; with -json every
+// finished cell is emitted immediately as one JSON line (the
+// AggregateCell, streamed in completion order while the rest of the grid
+// is still running), so long sweeps can be piped and monitored
+// incrementally. -workers sizes the job pool (0 = GOMAXPROCS); -shards
+// additionally parallelizes the delivery phase inside each cell's
+// engine, for grids of few, large cells.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +47,13 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// jsonCell is the streamed per-cell record: the AggregateCell plus its
+// error as a string (errors do not JSON-encode).
+type jsonCell struct {
+	neatbound.AggregateCell
+	Error string `json:"error,omitempty"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	n := fs.Int("n", 40, "number of miners")
@@ -48,7 +65,10 @@ func run(args []string) error {
 	tee := fs.Int("T", 4, "consistency chop parameter")
 	advName := fs.String("adversary", "private", "strategy: passive|max-delay|private|balance|selfish")
 	forkDepth := fs.Int("fork-depth", 4, "private adversary's target fork depth")
-	workers := fs.Int("workers", 4, "parallel workers")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "per-cell engine delivery shards (0 = serial)")
+	replicates := fs.Int("replicates", 1, "independent replicates per cell")
+	jsonOut := fs.Bool("json", false, "stream one JSON line per finished cell")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,18 +85,23 @@ func run(args []string) error {
 	if _, err := newAdversary(*advName, *forkDepth); err != nil {
 		return err
 	}
-	cells, err := neatbound.Sweep(neatbound.SweepConfig{
+	cfg := neatbound.SweepConfig{
 		N: *n, Delta: *delta,
 		NuValues: nus, CValues: cs,
-		Rounds: *rounds, Seed: *seed, T: *tee, Workers: *workers,
+		Rounds: *rounds, Seed: *seed, T: *tee,
+		Workers: *workers, Shards: *shards,
 		NewAdversary: func() neatbound.Adversary {
 			adv, err := newAdversary(*advName, *forkDepth)
 			if err != nil {
-				panic(err) // validated below before Sweep runs
+				panic(err) // validated above before the sweep runs
 			}
 			return adv
 		},
-	})
+	}
+	if *jsonOut || *replicates > 1 {
+		return runReplicated(cfg, *replicates, *jsonOut)
+	}
+	cells, err := neatbound.Sweep(cfg)
 	if err != nil {
 		return err
 	}
@@ -98,6 +123,44 @@ func run(args []string) error {
 			cell.Ledger.Margin(), cell.MaxForkDepth)
 	}
 	return nil
+}
+
+// runReplicated executes the replicated sweep, streaming each finished
+// cell: as JSON lines with -json, as a live table otherwise.
+func runReplicated(cfg neatbound.SweepConfig, replicates int, jsonOut bool) error {
+	enc := json.NewEncoder(os.Stdout)
+	if !jsonOut {
+		fmt.Printf("%-7s %-8s %-5s %-7s %-19s %-13s %s\n",
+			"nu", "c", "reps", "viols", "P(viol) 95%", "margin(mean)", "max-fork(mean)")
+	}
+	emit := func(cell neatbound.AggregateCell) error {
+		if jsonOut {
+			jc := jsonCell{AggregateCell: cell}
+			if cell.Err != nil {
+				jc.Error = cell.Err.Error()
+			}
+			return enc.Encode(jc)
+		}
+		if cell.Err != nil {
+			fmt.Printf("%-7.3g %-8.3g infeasible: %v\n", cell.Nu, cell.C, cell.Err)
+			return nil
+		}
+		fmt.Printf("%-7.3g %-8.3g %-5d %-7d [%.3f, %.3f]      %-13.1f %.1f\n",
+			cell.Nu, cell.C, cell.Replicates, cell.ViolationRuns,
+			cell.ViolationRateLo, cell.ViolationRateHi,
+			cell.Margin.Mean, cell.MaxForkDepth.Mean)
+		return nil
+	}
+	var emitErr error
+	_, err := neatbound.SweepReplicatedStream(cfg, replicates, func(cell neatbound.AggregateCell) {
+		if emitErr == nil {
+			emitErr = emit(cell)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return emitErr
 }
 
 func newAdversary(name string, forkDepth int) (neatbound.Adversary, error) {

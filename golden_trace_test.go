@@ -1,6 +1,7 @@
 package neatbound
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -159,6 +160,29 @@ func TestGoldenTraces(t *testing.T) {
 				t.Errorf("trace hash = %#x, want %#x — the simulation is no longer bit-identical for fixed seeds", got, want)
 			}
 		})
+	}
+}
+
+// TestGoldenTracesSharded pins the sharded-execution determinism
+// contract (see engine.Config): for every golden configuration, running
+// the delivery phase on P ∈ {1, 2, 4, 7} worker shards must reproduce
+// the serial engine's RoundRecord stream, final tips, block counters and
+// tree shape bit for bit — the same hashes the serial cases pin. P = 7
+// deliberately does not divide any player count, exercising uneven
+// shard boundaries.
+func TestGoldenTracesSharded(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		for name, gc := range goldenCases(t) {
+			gc := gc
+			gc.cfg.Shards = shards
+			t.Run(fmt.Sprintf("%s/P=%d", name, shards), func(t *testing.T) {
+				got := traceHash(t, gc)
+				want := goldenTraces[name]
+				if got != want {
+					t.Errorf("sharded trace hash = %#x, want %#x — P=%d diverged from the serial engine", got, want, shards)
+				}
+			})
+		}
 	}
 }
 

@@ -207,38 +207,14 @@ func (a *Balance) HonestDelayPolicy(ctx *engine.Context) network.DelayPolicy {
 	return splitPolicy{honest: ctx.HonestCount(), delta: ctx.Params().Delta}
 }
 
-// branchBest returns the highest tip (and its height) among honest players
-// of each half.
-func (a *Balance) branchBest(ctx *engine.Context) (tips [2]blockchain.BlockID, heights [2]int) {
-	honest := ctx.HonestCount()
-	tree := ctx.Tree()
-	tips = [2]blockchain.BlockID{blockchain.GenesisID, blockchain.GenesisID}
-	for i := 0; i < honest; i++ {
-		tip, err := ctx.HonestTipOf(i)
-		if err != nil {
-			continue
-		}
-		h, err := tree.Height(tip)
-		if err != nil {
-			continue
-		}
-		half := 0
-		if i >= honest/2 {
-			half = 1
-		}
-		if h > heights[half] {
-			heights[half] = h
-			tips[half] = tip
-		}
-	}
-	return tips, heights
-}
-
 // Mine implements engine.Adversary: every success extends the currently
-// shorter branch and is delivered to that half only.
+// shorter branch and is delivered to that half only. The per-branch best
+// tip comes from the engine's incremental per-shard accumulators
+// (ctx.BranchBest, O(shards)); this strategy used to re-scan every
+// honest view each round.
 func (a *Balance) Mine(ctx *engine.Context, mined int) {
 	a.TotalRounds++
-	tips, heights := a.branchBest(ctx)
+	tips, heights := ctx.BranchBest()
 	diff := heights[0] - heights[1]
 	if diff < 0 {
 		diff = -diff

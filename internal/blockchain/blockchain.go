@@ -303,6 +303,21 @@ func (t *Tree) Tips() []BlockID {
 	return tips
 }
 
+// ChildCount returns the number of direct children of id in O(1),
+// without copying the child list.
+func (t *Tree) ChildCount(id BlockID) int {
+	if uint64(id) >= uint64(len(t.children)) {
+		return 0
+	}
+	return len(t.children[id])
+}
+
+// ArenaLen returns the exclusive upper bound of the ID arena: every
+// stored block's ID is < ArenaLen(). The arena may contain holes (sparse
+// test IDs); Get reports presence. It supports flat iteration over all
+// blocks without recursive tree walks.
+func (t *Tree) ArenaLen() int { return len(t.blocks) }
+
 // Children returns the direct children of id (nil when none).
 func (t *Tree) Children(id BlockID) []BlockID {
 	if uint64(id) >= uint64(len(t.children)) {

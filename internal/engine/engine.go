@@ -47,6 +47,38 @@ type Adversary interface {
 }
 
 // Config parameterizes an execution.
+//
+// # Sharded round execution
+//
+// When Shards = P > 1, the round loop's delivery/adoption phase runs on
+// P workers, each owning a contiguous slice of the player range.
+// Adoption under the longest-chain rule is a pure per-recipient height
+// comparison, so the phase is embarrassingly parallel; the per-view
+// statistics the engine reports (height histogram brackets, tip
+// refcounts, per-half branch maxima) are kept in per-shard accumulators
+// that the workers update privately and the engine merges in O(P) after
+// the phase barrier. The mining and adversary phases stay serial.
+//
+// # Determinism contract
+//
+// Sharded runs are bit-identical to serial runs of the same Config (and
+// to each other across any P): the RoundRecord stream, final tips, and
+// block tree reproduce exactly. This holds because
+//
+//   - all randomness is drawn in the serial phases, in a fixed order,
+//     from streams split once from Seed — the parallel delivery phase
+//     draws no randomness at all;
+//   - each delivery worker touches only its own players' views, its own
+//     shard accumulator, and its own per-recipient network inboxes, and
+//     every per-recipient message drain preserves DeliverTo's
+//     deterministic (sent round, block ID, sender) order;
+//   - every merged statistic is an exact function of the current views
+//     (max/min over shard brackets, distinct count over shard tip
+//     lists, per-half argmax with min-index tie break), not of the
+//     order in which workers raced through the round.
+//
+// TestGoldenTracesSharded pins this contract across P ∈ {1, 2, 4, 7} on
+// every golden seed configuration.
 type Config struct {
 	// Params is the protocol parameterization; it must Validate.
 	Params params.Params
@@ -66,6 +98,10 @@ type Config struct {
 	// views; the currently corrupted ones are the tail of the index
 	// range. Params.Nu still bounds validation and sets the baseline.
 	NuSchedule func(round int) float64
+	// Shards is the delivery-phase parallelism P (see the type comment).
+	// Values ≤ 1 run the phase serially; values above the player count
+	// are clamped to it. Any P produces bit-identical executions.
+	Shards int
 }
 
 // RoundRecord summarizes one executed round.
@@ -131,21 +167,25 @@ type Engine struct {
 	// cached stats
 	honestBlocks, adversaryBlocks int
 
-	// Incremental honest-view statistics. The per-round RoundRecord
-	// fields (MaxHonestHeight, MinHonestHeight, DistinctTips) used to be
-	// three O(players) scans with a fresh map each round; they are now
-	// maintained event-wise on every tip change and honest-set resize.
-	//
-	// heightCount[h] counts honest views whose chain height is h; minH
-	// and maxH bracket its support (heights only grow, so minH advances
-	// amortized O(1)); tracked is the number of views currently counted
-	// (= honest). tipRefs[id] counts honest views sitting on tip id and
-	// distinct counts its non-zero entries.
-	heightCount []int
-	minH, maxH  int
-	tracked     int
-	tipRefs     []int32
-	distinct    int
+	// Incremental honest-view statistics, sharded. The per-round
+	// RoundRecord fields (MaxHonestHeight, MinHonestHeight,
+	// DistinctTips) used to be three O(players) scans with a fresh map
+	// each round; they are maintained event-wise in per-shard
+	// accumulators (see shardStat) on every tip change and honest-set
+	// resize, and merged in O(shards) when queried. The shards partition
+	// [0, players) contiguously, so the delivery phase can hand each
+	// shard to its own worker.
+	shards []shardStat
+	// halfLo is the honest/2 boundary the per-shard argmax splits on
+	// (the Balance adversary's two branches).
+	halfLo int
+	// seen and seenStamp are the scratch stamp array for merging shard
+	// tip lists without a per-round map (seen[id] == seenStamp marks id
+	// counted in the current merge).
+	seen      []uint64
+	seenStamp uint64
+	// cursorsBuf is the reusable scratch handed to network.EndRound.
+	cursorsBuf []network.ShardCursor
 	// winnersBuf is the reusable scratch for per-round mining winners.
 	winnersBuf []int
 	// ctx is the adversary's handle, allocated once per engine.
@@ -187,81 +227,55 @@ func New(cfg Config) (*Engine, error) {
 		alloc:      mining.NewIDAllocator(),
 		players:    players,
 		honest:     honest,
+		halfLo:     honest / 2,
 		adv:        adv,
 		advRng:     root.Split(1),
 		mineRg:     root.Split(2),
 		tips:       make([]blockchain.BlockID, players),
 		tipHeights: make([]int, players),
-		// All honest views start at genesis: one distinct tip, all mass
-		// at height 0.
-		heightCount: []int{honest},
-		tracked:     honest,
-		tipRefs:     []int32{int32(honest)},
-		distinct:    1,
 	}
 	for i := range e.tips {
 		e.tips[i] = blockchain.GenesisID
+	}
+	// Partition the player range into contiguous shards (sizes differing
+	// by at most one) and count every honest view — all at genesis,
+	// height 0 — into its shard's accumulator.
+	nshards := cfg.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > players {
+		nshards = players
+	}
+	e.shards = make([]shardStat, nshards)
+	q, r := players/nshards, players%nshards
+	lo := 0
+	for k := range e.shards {
+		size := q
+		if k < r {
+			size++
+		}
+		e.shards[k].lo, e.shards[k].hi = lo, lo+size
+		e.shards[k].resetBest()
+		lo += size
+	}
+	e.cursorsBuf = make([]network.ShardCursor, 0, nshards)
+	for i := 0; i < honest; i++ {
+		e.shardOf(i).add(i, blockchain.GenesisID, 0, e.halfLo)
 	}
 	e.ctx = Context{e: e}
 	return e, nil
 }
 
-// statsAdd counts an honest view at tip id, height h.
-func (e *Engine) statsAdd(id blockchain.BlockID, h int) {
-	for len(e.heightCount) <= h {
-		e.heightCount = append(e.heightCount, 0)
-	}
-	if e.tracked == 0 {
-		e.minH, e.maxH = h, h
-	} else {
-		if h > e.maxH {
-			e.maxH = h
-		}
-		if h < e.minH {
-			e.minH = h
-		}
-	}
-	e.tracked++
-	e.heightCount[h]++
-	for uint64(len(e.tipRefs)) <= uint64(id) {
-		e.tipRefs = append(e.tipRefs, 0)
-	}
-	e.tipRefs[id]++
-	if e.tipRefs[id] == 1 {
-		e.distinct++
-	}
-}
-
-// statsRemove uncounts an honest view at tip id, height h.
-func (e *Engine) statsRemove(id blockchain.BlockID, h int) {
-	e.tracked--
-	e.heightCount[h]--
-	if e.heightCount[h] == 0 && e.tracked > 0 {
-		// The support brackets only shrink inward; each loop step is paid
-		// for by an earlier height increase, so the amortized cost is O(1).
-		if h == e.maxH {
-			for e.maxH > e.minH && e.heightCount[e.maxH] == 0 {
-				e.maxH--
-			}
-		}
-		if h == e.minH {
-			for e.minH < e.maxH && e.heightCount[e.minH] == 0 {
-				e.minH++
-			}
-		}
-	}
-	e.tipRefs[id]--
-	if e.tipRefs[id] == 0 {
-		e.distinct--
-	}
-}
-
 // setTip moves player i's view to tip id at height h, keeping the
-// incremental statistics in sync when i is currently honest.
+// incremental statistics in sync when i is currently honest. During the
+// parallel delivery phase, i always lies in the calling worker's own
+// shard, so the statistics update stays worker-private.
 func (e *Engine) setTip(i int, id blockchain.BlockID, h int) {
 	if i < e.honest {
-		e.statsRemove(e.tips[i], e.tipHeights[i])
-		e.statsAdd(id, h)
+		s := e.shardOf(i)
+		s.remove(e.tips[i], e.tipHeights[i])
+		s.add(i, id, h, e.halfLo)
 	}
 	e.tips[i] = id
 	e.tipHeights[i] = h
@@ -269,14 +283,25 @@ func (e *Engine) setTip(i int, id blockchain.BlockID, h int) {
 
 // resizeHonest moves the honest/corrupted boundary to newHonest,
 // entering or evicting the boundary players' views from the statistics.
+// It runs in the serial phase of the round. Because both the tracked set
+// and the half boundary move, the per-half argmax accumulators are
+// rebuilt from scratch — an O(players) cost paid only on rounds where
+// the corrupted set actually changes.
 func (e *Engine) resizeHonest(newHonest int) {
+	if newHonest == e.honest {
+		return
+	}
 	for i := newHonest; i < e.honest; i++ {
-		e.statsRemove(e.tips[i], e.tipHeights[i])
+		e.shardOf(i).remove(e.tips[i], e.tipHeights[i])
 	}
 	for i := e.honest; i < newHonest; i++ {
-		e.statsAdd(e.tips[i], e.tipHeights[i])
+		e.shardOf(i).add(i, e.tips[i], e.tipHeights[i], e.halfLo)
 	}
 	e.honest = newHonest
+	e.halfLo = newHonest / 2
+	for k := range e.shards {
+		e.shards[k].recomputeBest(e.tips, e.tipHeights, e.honest, e.halfLo)
+	}
 }
 
 // Params returns the engine's parameterization.
@@ -299,18 +324,37 @@ func (e *Engine) PlayerTip(i int) (blockchain.BlockID, error) {
 	return e.tips[i], nil
 }
 
-// DistinctTips returns the distinct honest chain tips, sorted by height
-// then ID.
-func (e *Engine) DistinctTips() []blockchain.BlockID {
-	seen := map[blockchain.BlockID]struct{}{}
-	var out []blockchain.BlockID
-	for _, t := range e.tips[:e.honest] {
-		if _, dup := seen[t]; dup {
-			continue
+// mergeTips stamps every distinct tip across the shard tip lists and
+// returns the distinct count, optionally appending the ids to out. The
+// stamp array replaces the per-call map the serial engine used to
+// allocate; the cost is O(Σ shard tips), independent of the player
+// count.
+func (e *Engine) mergeTips(out *[]blockchain.BlockID) int {
+	e.seenStamp++
+	count := 0
+	for k := range e.shards {
+		for _, id := range e.shards[k].tipList {
+			for uint64(len(e.seen)) <= uint64(id) {
+				e.seen = append(e.seen, 0)
+			}
+			if e.seen[id] != e.seenStamp {
+				e.seen[id] = e.seenStamp
+				count++
+				if out != nil {
+					*out = append(*out, id)
+				}
+			}
 		}
-		seen[t] = struct{}{}
-		out = append(out, t)
 	}
+	return count
+}
+
+// DistinctTips returns the distinct honest chain tips, sorted by height
+// then ID. It enumerates the per-shard tip lists instead of walking all
+// honest views, so the cost scales with the number of tips.
+func (e *Engine) DistinctTips() []blockchain.BlockID {
+	var out []blockchain.BlockID
+	e.mergeTips(&out)
 	// Insertion sort by (height, ID); tip sets are tiny.
 	height := func(id blockchain.BlockID) int {
 		h, _ := e.tree.Height(id)
@@ -329,15 +373,72 @@ func (e *Engine) DistinctTips() []blockchain.BlockID {
 	return out
 }
 
-// DistinctTipCount returns the number of distinct honest chain tips in
-// O(1), from the incrementally maintained refcounts.
-func (e *Engine) DistinctTipCount() int { return e.distinct }
+// DistinctTipCount returns the number of distinct honest chain tips from
+// the incrementally maintained per-shard refcounts, in O(tips).
+func (e *Engine) DistinctTipCount() int {
+	if len(e.shards) == 1 {
+		return len(e.shards[0].tipList)
+	}
+	return e.mergeTips(nil)
+}
 
-// MaxHonestHeight returns the tallest honest view in O(1).
-func (e *Engine) MaxHonestHeight() int { return e.maxH }
+// MaxHonestHeight returns the tallest honest view in O(shards).
+func (e *Engine) MaxHonestHeight() int {
+	max, any := 0, false
+	for k := range e.shards {
+		s := &e.shards[k]
+		if s.tracked == 0 {
+			continue
+		}
+		if !any || s.maxH > max {
+			max = s.maxH
+		}
+		any = true
+	}
+	return max
+}
 
-// minHonestHeight returns the shortest honest view in O(1).
-func (e *Engine) minHonestHeight() int { return e.minH }
+// minHonestHeight returns the shortest honest view in O(shards).
+func (e *Engine) minHonestHeight() int {
+	min, any := 0, false
+	for k := range e.shards {
+		s := &e.shards[k]
+		if s.tracked == 0 {
+			continue
+		}
+		if !any || s.minH < min {
+			min = s.minH
+		}
+		any = true
+	}
+	return min
+}
+
+// BranchBest returns, for each half of the honest player range (split at
+// honest/2 — the two branches the Balance adversary sustains), the
+// highest honest tip and its height, merged from the per-shard argmax
+// accumulators in O(shards). Ties on height resolve to the
+// lowest-indexed player, matching a serial ascending scan; halves with
+// every view still at genesis report (GenesisID, 0).
+func (e *Engine) BranchBest() (tips [2]blockchain.BlockID, heights [2]int) {
+	tips = [2]blockchain.BlockID{blockchain.GenesisID, blockchain.GenesisID}
+	idx := [2]int{maxIdx, maxIdx}
+	for k := range e.shards {
+		s := &e.shards[k]
+		for half := 0; half < 2; half++ {
+			if s.bestH[half] == 0 {
+				continue
+			}
+			if s.bestH[half] > heights[half] ||
+				(s.bestH[half] == heights[half] && s.bestIdx[half] < idx[half]) {
+				heights[half] = s.bestH[half]
+				idx[half] = s.bestIdx[half]
+				tips[half] = s.bestTip[half]
+			}
+		}
+	}
+	return tips, heights
+}
 
 // Run executes cfg.Rounds rounds and returns the result.
 func (e *Engine) Run() (*Result, error) {
@@ -390,19 +491,11 @@ func (e *Engine) step() (RoundRecord, error) {
 	// 1. Delivery: every view-maintaining player receives scheduled
 	// messages and adopts the longest chain seen (the longest-chain rule
 	// inlined: a candidate wins only when strictly higher; ties keep the
-	// current chain).
-	for i := 0; i < e.players; i++ {
-		for _, m := range e.net.DeliverTo(i, t) {
-			// Every delivered block must be in the global tree (an O(1)
-			// arena probe); a strategy Sending an unregistered block is a
-			// bug that must surface, not be silently out-adopted.
-			if _, ok := e.tree.Get(m.Block.ID); !ok {
-				return RoundRecord{}, fmt.Errorf("engine: round %d adopt: %w %d", t, blockchain.ErrUnknownBlock, m.Block.ID)
-			}
-			if m.Block.Height > e.tipHeights[i] {
-				e.setTip(i, m.Block.ID, m.Block.Height)
-			}
-		}
+	// current chain). The phase runs sharded — serial for one shard, one
+	// worker per shard otherwise — with bit-identical results either way
+	// (see the Config doc).
+	if err := e.deliverShards(t); err != nil {
+		return RoundRecord{}, err
 	}
 
 	// 2. Honest mining: parallel queries; winners extend their own views.
@@ -447,9 +540,9 @@ func (e *Engine) step() (RoundRecord, error) {
 		Nu:              nu,
 		HonestMined:     len(winners),
 		AdversaryMined:  advMined,
-		MaxHonestHeight: e.maxH,
-		MinHonestHeight: e.minH,
-		DistinctTips:    e.distinct,
+		MaxHonestHeight: e.MaxHonestHeight(),
+		MinHonestHeight: e.minHonestHeight(),
+		DistinctTips:    e.DistinctTipCount(),
 	}, nil
 }
 
@@ -484,6 +577,14 @@ func (c *Context) HonestTipOf(i int) (blockchain.BlockID, error) { return c.e.Pl
 
 // MaxHonestHeight returns the tallest honest view.
 func (c *Context) MaxHonestHeight() int { return c.e.MaxHonestHeight() }
+
+// BranchBest returns the highest honest tip and height of each half of
+// the honest player range (split at honest/2), from the engine's
+// incremental per-shard accumulators — O(shards) instead of a walk over
+// all honest views.
+func (c *Context) BranchBest() (tips [2]blockchain.BlockID, heights [2]int) {
+	return c.e.BranchBest()
+}
 
 // MineBlock creates an adversarial block extending parent and records it
 // in the tree. The block is NOT announced; use Send/SendToAll to deliver

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"neatbound/internal/blockchain"
+	"neatbound/internal/network"
+)
+
+// maxIdx is the sentinel "no player" index for the per-half argmax; any
+// real player index compares smaller.
+const maxIdx = int(^uint(0) >> 1)
+
+// shardStat owns the incremental honest-view statistics of the players
+// in [lo, hi) — one shard of the delivery phase. Every field is written
+// only by the worker that owns the shard (delivery phase) or by the
+// serial phases of the round loop, so shards never need locks; the
+// engine's global queries (MaxHonestHeight, DistinctTipCount,
+// BranchBest, …) merge the P shard accumulators in O(P) after the
+// delivery barrier.
+//
+// The accumulators are exact functions of the current honest views in
+// the shard, not of the update order: heights only ever increase under
+// the longest-chain rule, so merging shard maxima reproduces bit for bit
+// what a serial scan over all players would report. That property is
+// what keeps sharded runs on the serial engine's golden traces.
+type shardStat struct {
+	// lo, hi bound the player index range this shard owns.
+	lo, hi int
+	// heightCount[h] counts honest views in the shard at chain height h;
+	// minH and maxH bracket its support (heights only grow, so the
+	// brackets advance amortized O(1)); tracked is the number of honest
+	// views currently counted.
+	heightCount []int
+	minH, maxH  int
+	tracked     int
+	// tipRefs[id] counts honest views in the shard sitting on tip id.
+	// tipList enumerates the ids with non-zero refcount (unordered) and
+	// tipPos[id] is that id's tipList index plus one (0 = absent), so
+	// distinct-tip queries never scan the refcount arena.
+	tipRefs []int32
+	tipPos  []int32
+	tipList []blockchain.BlockID
+	// Per-half argmax for the adversary's BranchBest query: for half
+	// ∈ {0, 1} (split at the engine's halfLo boundary), the maximal
+	// honest chain height in shard∩half, the minimal player index
+	// attaining it, and that player's tip. bestIdx is maxIdx until a
+	// player passes height 0.
+	bestH   [2]int
+	bestIdx [2]int
+	bestTip [2]blockchain.BlockID
+	// err is the shard's delivery-phase error, examined after the
+	// barrier in ascending shard order (matching the serial engine's
+	// first-error semantics).
+	err error
+	// cursor is the shard's network delivery handle for the current
+	// round.
+	cursor network.ShardCursor
+	// pad defeats false sharing between adjacent shards' hot counters.
+	_ [64]byte
+}
+
+// resetBest clears the per-half argmax accumulators.
+func (s *shardStat) resetBest() {
+	for half := 0; half < 2; half++ {
+		s.bestH[half] = 0
+		s.bestIdx[half] = maxIdx
+		s.bestTip[half] = blockchain.GenesisID
+	}
+}
+
+// add counts honest player i at tip id, height h. halfLo is the engine's
+// current half boundary (honest/2).
+func (s *shardStat) add(i int, id blockchain.BlockID, h, halfLo int) {
+	for len(s.heightCount) <= h {
+		s.heightCount = append(s.heightCount, 0)
+	}
+	if s.tracked == 0 {
+		s.minH, s.maxH = h, h
+	} else {
+		if h > s.maxH {
+			s.maxH = h
+		}
+		if h < s.minH {
+			s.minH = h
+		}
+	}
+	s.tracked++
+	s.heightCount[h]++
+	for uint64(len(s.tipRefs)) <= uint64(id) {
+		s.tipRefs = append(s.tipRefs, 0)
+		s.tipPos = append(s.tipPos, 0)
+	}
+	s.tipRefs[id]++
+	if s.tipRefs[id] == 1 {
+		s.tipList = append(s.tipList, id)
+		s.tipPos[id] = int32(len(s.tipList))
+	}
+	half := 0
+	if i >= halfLo {
+		half = 1
+	}
+	// Heights never decrease, so (max height, min index at it) is
+	// maintainable by pure insertion — removals are handled by the full
+	// recompute in resizeHonest, the only place heights leave the set.
+	if h > s.bestH[half] || (h == s.bestH[half] && i < s.bestIdx[half]) {
+		if h > 0 {
+			s.bestH[half], s.bestIdx[half], s.bestTip[half] = h, i, id
+		}
+	}
+}
+
+// remove uncounts an honest view at tip id, height h. The per-half
+// argmax is deliberately left alone: on the longest-chain path a remove
+// is always paired with an add of the same player at a greater height
+// (setTip), which re-establishes the argmax; honest-set resizes instead
+// trigger recomputeBest.
+func (s *shardStat) remove(id blockchain.BlockID, h int) {
+	s.tracked--
+	s.heightCount[h]--
+	if s.heightCount[h] == 0 && s.tracked > 0 {
+		// The support brackets only shrink inward; each loop step is paid
+		// for by an earlier height increase, so the amortized cost is O(1).
+		if h == s.maxH {
+			for s.maxH > s.minH && s.heightCount[s.maxH] == 0 {
+				s.maxH--
+			}
+		}
+		if h == s.minH {
+			for s.minH < s.maxH && s.heightCount[s.minH] == 0 {
+				s.minH++
+			}
+		}
+	}
+	s.tipRefs[id]--
+	if s.tipRefs[id] == 0 {
+		p := s.tipPos[id] - 1
+		last := s.tipList[len(s.tipList)-1]
+		s.tipList[p] = last
+		s.tipPos[last] = p + 1
+		s.tipList = s.tipList[:len(s.tipList)-1]
+		s.tipPos[id] = 0
+	}
+}
+
+// recomputeBest rebuilds the per-half argmax from the current views —
+// needed after honest-set resizes, which both evict players and move the
+// half boundary.
+func (s *shardStat) recomputeBest(tips []blockchain.BlockID, heights []int, honest, halfLo int) {
+	s.resetBest()
+	hi := s.hi
+	if honest < hi {
+		hi = honest
+	}
+	for i := s.lo; i < hi; i++ {
+		half := 0
+		if i >= halfLo {
+			half = 1
+		}
+		if h := heights[i]; h > s.bestH[half] {
+			s.bestH[half], s.bestIdx[half], s.bestTip[half] = h, i, tips[i]
+		}
+	}
+}
+
+// shardOf returns the shard owning player i.
+func (e *Engine) shardOf(i int) *shardStat {
+	if len(e.shards) == 1 {
+		return &e.shards[0]
+	}
+	q, r := e.players/len(e.shards), e.players%len(e.shards)
+	t := r * (q + 1)
+	if i < t {
+		return &e.shards[i/(q+1)]
+	}
+	return &e.shards[r+(i-t)/q]
+}
+
+// deliverShards runs the round's delivery phase: serial for one shard,
+// one goroutine per shard otherwise. The shards' recipient ranges
+// partition [0, players), so the workers touch disjoint view and network
+// state; the only shared reads are the block tree (frozen during
+// delivery) and the network's staged spill (disjoint per-recipient
+// slots).
+func (e *Engine) deliverShards(round int) error {
+	e.net.BeginRound(round)
+	if len(e.shards) == 1 {
+		s := &e.shards[0]
+		s.cursor = e.net.Cursor(round)
+		s.err = e.deliverRange(s, round)
+	} else {
+		var wg sync.WaitGroup
+		for k := range e.shards {
+			s := &e.shards[k]
+			s.cursor = e.net.Cursor(round)
+			wg.Add(1)
+			go func(s *shardStat) {
+				defer wg.Done()
+				s.err = e.deliverRange(s, round)
+			}(s)
+		}
+		wg.Wait()
+	}
+	e.cursorsBuf = e.cursorsBuf[:0]
+	for k := range e.shards {
+		e.cursorsBuf = append(e.cursorsBuf, e.shards[k].cursor)
+	}
+	e.net.EndRound(round, e.cursorsBuf)
+	for k := range e.shards {
+		if err := e.shards[k].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverRange drains shard s's recipients for round, applying the
+// longest-chain rule (adopt only strictly higher chains).
+func (e *Engine) deliverRange(s *shardStat, round int) error {
+	for i := s.lo; i < s.hi; i++ {
+		for _, m := range s.cursor.Deliver(i) {
+			// Every delivered block must be in the global tree (an O(1)
+			// arena probe); a strategy Sending an unregistered block is a
+			// bug that must surface, not be silently out-adopted.
+			if _, ok := e.tree.Get(m.Block.ID); !ok {
+				return fmt.Errorf("engine: round %d adopt: %w %d", round, blockchain.ErrUnknownBlock, m.Block.ID)
+			}
+			if m.Block.Height > e.tipHeights[i] {
+				e.setTip(i, m.Block.ID, m.Block.Height)
+			}
+		}
+	}
+	return nil
+}

@@ -85,24 +85,23 @@ type ForkStats struct {
 	Orphans int
 }
 
-// ComputeForkStats scans the tree.
+// ComputeForkStats scans the tree. Fork points are counted by a flat
+// arena iteration — every stored block is reachable from genesis, so
+// this matches a tree walk without recursing chain-height deep (which
+// overflowed goroutine stacks at large-n, long-run configurations).
 func ComputeForkStats(tree *blockchain.Tree) ForkStats {
 	st := ForkStats{
 		Blocks:    tree.Len() - 1,
 		MaxHeight: tree.MaxHeight(),
 	}
-	// Fork points: walk the tree from genesis.
-	var walk func(id blockchain.BlockID)
-	walk = func(id blockchain.BlockID) {
-		kids := tree.Children(id)
-		if len(kids) >= 2 {
+	for id := 0; id < tree.ArenaLen(); id++ {
+		if _, ok := tree.Get(blockchain.BlockID(id)); !ok {
+			continue
+		}
+		if tree.ChildCount(blockchain.BlockID(id)) >= 2 {
 			st.ForkPoints++
 		}
-		for _, k := range kids {
-			walk(k)
-		}
 	}
-	walk(blockchain.GenesisID)
 	tips := tree.Tips()
 	best := tips[len(tips)-1]
 	st.MainChainBlocks = mustHeight(tree, best)

@@ -24,6 +24,8 @@ package network
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"neatbound/internal/blockchain"
 )
@@ -48,6 +50,23 @@ func messageLess(a, b Message) bool {
 		return a.Block.ID < b.Block.ID
 	}
 	return a.From < b.From
+}
+
+// sortDeliveryOrder establishes the deterministic delivery order in
+// place. It is THE ordering step of every drain path — DeliverTo and
+// ShardCursor.Deliver both call it, so serial and sharded delivery
+// cannot drift apart. Appends arrive pre-sorted on the engine's path,
+// so the insertion re-sort only pays when an out-of-order adversarial
+// schedule is detected; stability preserves arrival order on full ties
+// (the same block sent twice to one recipient).
+func sortDeliveryOrder(msgs []Message) {
+	for i := 1; i < len(msgs); i++ {
+		if messageLess(msgs[i], msgs[i-1]) {
+			for j := i; j > 0 && messageLess(msgs[j], msgs[j-1]); j-- {
+				msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
+			}
+		}
+	}
 }
 
 // DelayPolicy is the adversary's scheduling interface for honest
@@ -145,6 +164,17 @@ type Network struct {
 	// slot — adversarial sends scheduled beyond the ring horizon. Keyed
 	// by round, then recipient.
 	overflow map[int]map[int][]Message
+	// staged is the sharded-delivery window's per-recipient view of the
+	// current round's overflow spill (see shard.go); stagedActive marks a
+	// window opened by BeginRound with spill present.
+	staged       [][]Message
+	stagedActive bool
+	// bcastClaim, bcastCounts and bcastSpill are reusable scratch for
+	// broadcastParallel (slot claims, per-worker pending tallies,
+	// per-worker overflow fallbacks).
+	bcastClaim  []bool
+	bcastCounts []int
+	bcastSpill  [][]spillRef
 	// pending counts undelivered messages, for invariant checks.
 	pending int
 	// stats
@@ -254,41 +284,116 @@ func (n *Network) Broadcast(m Message, round int, policy DelayPolicy) error {
 	return nil
 }
 
-// broadcastParallel computes delivery rounds concurrently, then enqueues
-// sequentially (the slot buffers are not concurrent).
+// spillRef records a recipient whose delivery round could not claim a
+// ring slot during a parallel broadcast; it is enqueued serially (the
+// overflow map is not concurrent).
+type spillRef struct {
+	recipient, round int
+}
+
+// broadcastParallel fans one honest broadcast's per-recipient enqueue
+// across workers. The result is bit-identical to the sequential loop:
+// every legal delivery round's ring slot is claimed serially up front,
+// workers then append into disjoint per-recipient slot buffers (each
+// recipient is owned by exactly one worker, and a broadcast adds at most
+// one message per recipient, so per-recipient message order is
+// untouched), and the pending counters are merged from per-worker tallies
+// afterwards. Recipients whose slot could not be claimed — the target
+// ring position still holds an undrained far-future round — fall back to
+// the serial enqueue path and its overflow map.
 func (n *Network) broadcastParallel(m Message, policy DelayPolicy) {
-	rounds := make([]int, n.players)
-	const chunk = 1024
-	type span struct{ lo, hi int }
-	spans := make(chan span)
-	done := make(chan struct{})
-	workers := 4
-	for w := 0; w < workers; w++ {
-		go func() {
-			for s := range spans {
-				for r := s.lo; r < s.hi; r++ {
-					rounds[r] = policy.DeliveryRound(m, r)
-				}
-			}
-			done <- struct{}{}
-		}()
+	sent := m.SentRound
+	nslots := len(n.ring)
+	// Claim the ring slot of every legal delivery round (serial): a slot
+	// is claimable when it already represents the round or is drained.
+	if cap(n.bcastClaim) < n.delta {
+		n.bcastClaim = make([]bool, n.delta)
 	}
-	for lo := 0; lo < n.players; lo += chunk {
-		hi := lo + chunk
+	claimed := n.bcastClaim[:n.delta]
+	for d := 0; d < n.delta; d++ {
+		r := sent + 1 + d
+		s := &n.ring[r%nslots]
+		switch {
+		case s.round == r:
+			claimed[d] = true
+		case s.pending == 0:
+			s.round = r
+			if s.byRecipient == nil {
+				s.byRecipient = make([][]Message, n.players)
+			}
+			claimed[d] = true
+		default:
+			claimed[d] = false
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if cap(n.bcastCounts) < workers*n.delta {
+		n.bcastCounts = make([]int, workers*n.delta)
+	}
+	counts := n.bcastCounts[:workers*n.delta]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for len(n.bcastSpill) < workers {
+		n.bcastSpill = append(n.bcastSpill, nil)
+	}
+	var wg sync.WaitGroup
+	per := (n.players + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
 		if hi > n.players {
 			hi = n.players
 		}
-		spans <- span{lo, hi}
-	}
-	close(spans)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
-	for r := 0; r < n.players; r++ {
-		if r == m.From {
-			continue
+		if lo >= hi {
+			break
 		}
-		n.enqueue(m, r, n.clampDelivery(m.SentRound, rounds[r]))
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			myCounts := counts[w*n.delta : (w+1)*n.delta]
+			spill := n.bcastSpill[w][:0]
+			for r := lo; r < hi; r++ {
+				if r == m.From {
+					continue
+				}
+				dr := n.clampDelivery(sent, policy.DeliveryRound(m, r))
+				d := dr - sent - 1
+				if claimed[d] {
+					s := &n.ring[dr%nslots]
+					s.byRecipient[r] = append(s.byRecipient[r], m)
+					myCounts[d]++
+				} else {
+					spill = append(spill, spillRef{recipient: r, round: dr})
+				}
+			}
+			n.bcastSpill[w] = spill
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for d := 0; d < n.delta; d++ {
+		sum := 0
+		for w := 0; w < workers; w++ {
+			sum += counts[w*n.delta+d]
+		}
+		if sum > 0 {
+			n.ring[(sent+1+d)%nslots].pending += sum
+			total += sum
+		}
+	}
+	n.pending += total
+	n.sent += total
+	for w := 0; w < workers; w++ {
+		for _, sp := range n.bcastSpill[w] {
+			n.enqueue(m, sp.recipient, sp.round)
+		}
+		n.bcastSpill[w] = n.bcastSpill[w][:0]
 	}
 }
 
@@ -337,16 +442,7 @@ func (n *Network) DeliverTo(recipient, round int) []Message {
 	if len(msgs) == 0 {
 		return nil
 	}
-	// Appends arrive in (sent round, block ID) order on the engine's
-	// path, so the buffer is already sorted; re-sort (insertion, in
-	// place) only when an out-of-order adversarial schedule is detected.
-	for i := 1; i < len(msgs); i++ {
-		if messageLess(msgs[i], msgs[i-1]) {
-			for j := i; j > 0 && messageLess(msgs[j], msgs[j-1]); j-- {
-				msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
-			}
-		}
-	}
+	sortDeliveryOrder(msgs)
 	if s.round == round {
 		// Hand the (possibly grown) buffer back to the slot for reuse.
 		s.byRecipient[recipient] = msgs[:0]

@@ -1,0 +1,154 @@
+package network
+
+import (
+	"sync"
+	"testing"
+
+	"neatbound/internal/blockchain"
+)
+
+// twinNetworks builds two identically loaded networks: honest broadcasts
+// for several rounds plus adversarial sends, including far-future ones
+// that outrun the ring into the overflow map.
+func twinNetworks(t *testing.T, players, delta int) (*Network, *Network) {
+	t.Helper()
+	a, err := New(players, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(players, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := blockchain.BlockID(1)
+	load := func(n *Network) {
+		id = 1
+		for round := 1; round <= 3; round++ {
+			for from := 0; from < players; from += 3 {
+				m := Message{Block: &blockchain.Block{ID: id, Height: round}, From: from, SentRound: round}
+				if err := n.Broadcast(m, round, HashedDelay{Delta: delta, Seed: 7}); err != nil {
+					t.Fatal(err)
+				}
+				id++
+			}
+			// Withheld blocks scheduled far beyond the ring horizon.
+			m := Message{Block: &blockchain.Block{ID: id, Height: round}, From: -1, SentRound: round}
+			for r := 0; r < players; r += 2 {
+				if err := n.Send(m, r, round+delta+5); err != nil {
+					t.Fatal(err)
+				}
+			}
+			id++
+		}
+	}
+	load(a)
+	load(b)
+	return a, b
+}
+
+// TestShardCursorMatchesDeliverTo drains one network with DeliverTo and
+// its twin with sharded cursors, asserting identical per-recipient
+// message sequences and identical fabric counters at every round.
+func TestShardCursorMatchesDeliverTo(t *testing.T) {
+	const players, delta = 23, 3
+	serial, sharded := twinNetworks(t, players, delta)
+	// Drain enough rounds to cover the far-future overflow sends.
+	for round := 1; round <= 3+delta+6; round++ {
+		var want [][]Message
+		for r := 0; r < players; r++ {
+			msgs := serial.DeliverTo(r, round)
+			want = append(want, append([]Message(nil), msgs...))
+		}
+		sharded.BeginRound(round)
+		// Three uneven shards.
+		bounds := [][2]int{{0, 7}, {7, 8}, {8, players}}
+		cursors := make([]ShardCursor, len(bounds))
+		got := make([][][]Message, len(bounds))
+		var wg sync.WaitGroup
+		for k := range bounds {
+			cursors[k] = sharded.Cursor(round)
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				for r := bounds[k][0]; r < bounds[k][1]; r++ {
+					msgs := cursors[k].Deliver(r)
+					got[k] = append(got[k], append([]Message(nil), msgs...))
+				}
+			}(k)
+		}
+		wg.Wait()
+		sharded.EndRound(round, cursors)
+		r := 0
+		for k := range bounds {
+			for _, msgs := range got[k] {
+				if len(msgs) != len(want[r]) {
+					t.Fatalf("round %d recipient %d: %d messages via cursor, %d via DeliverTo", round, r, len(msgs), len(want[r]))
+				}
+				for i := range msgs {
+					if msgs[i].Block.ID != want[r][i].Block.ID || msgs[i].From != want[r][i].From || msgs[i].SentRound != want[r][i].SentRound {
+						t.Fatalf("round %d recipient %d message %d: cursor %+v vs DeliverTo %+v", round, r, i, msgs[i], want[r][i])
+					}
+				}
+				r++
+			}
+		}
+		if serial.Pending() != sharded.Pending() || serial.Delivered() != sharded.Delivered() {
+			t.Fatalf("round %d: counters diverged: pending %d vs %d, delivered %d vs %d",
+				round, serial.Pending(), sharded.Pending(), serial.Delivered(), sharded.Delivered())
+		}
+	}
+	if sharded.Pending() != 0 {
+		t.Fatalf("undrained messages: %d", sharded.Pending())
+	}
+}
+
+// TestShardWindowRefilesUnconsumedSpill covers partial shard coverage:
+// overflow spill staged by BeginRound but not consumed by any cursor
+// must survive EndRound and remain deliverable.
+func TestShardWindowRefilesUnconsumedSpill(t *testing.T) {
+	n, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Message{Block: &blockchain.Block{ID: 9, Height: 1}, From: -1, SentRound: 1}
+	const target = 10 // far beyond the ring
+	if err := n.Send(m, 3, target); err != nil {
+		t.Fatal(err)
+	}
+	n.BeginRound(target)
+	cur := n.Cursor(target)
+	for r := 0; r < 2; r++ { // shards cover only recipients 0 and 1
+		cur.Deliver(r)
+	}
+	n.EndRound(target, []ShardCursor{cur})
+	if n.Pending() != 1 {
+		t.Fatalf("pending = %d after partial coverage, want 1 (spill re-filed)", n.Pending())
+	}
+	msgs := n.DeliverTo(3, target)
+	if len(msgs) != 1 || msgs[0].Block.ID != 9 {
+		t.Fatalf("re-filed spill not delivered: %v", msgs)
+	}
+	if n.Pending() != 0 {
+		t.Fatalf("pending = %d at end", n.Pending())
+	}
+}
+
+// TestShardCursorEmptyRound asserts the window is harmless when nothing
+// is due.
+func TestShardCursorEmptyRound(t *testing.T) {
+	n, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.BeginRound(5)
+	cur := n.Cursor(5)
+	for r := 0; r < 3; r++ {
+		if msgs := cur.Deliver(r); msgs != nil {
+			t.Fatalf("messages from empty round: %v", msgs)
+		}
+	}
+	n.EndRound(5, []ShardCursor{cur})
+	if n.Pending() != 0 || n.Delivered() != 0 {
+		t.Fatalf("counters moved on empty round: pending %d delivered %d", n.Pending(), n.Delivered())
+	}
+}

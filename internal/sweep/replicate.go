@@ -27,67 +27,95 @@ type AggregateCell struct {
 	Convergence stats.Summary
 	// MaxForkDepth summarizes the deepest fork per run.
 	MaxForkDepth stats.Summary
-	// Err is set when every replicate failed (e.g. infeasible p).
-	Err error
+	// Err is set when every replicate failed (e.g. infeasible p). It is
+	// excluded from JSON encoding (errors do not round-trip); callers
+	// streaming cells should surface Err separately.
+	Err error `json:"-"`
+}
+
+// aggregate folds one cell's replicate results, always in replicate
+// order, so the floating-point summaries are bit-identical no matter how
+// the worker pool interleaved the runs.
+func aggregate(nu, c float64, reps []Cell) (AggregateCell, error) {
+	var margin, conv, fork stats.Accumulator
+	violationRuns, ok := 0, 0
+	var lastErr error
+	for _, cell := range reps {
+		if cell.Err != nil {
+			lastErr = cell.Err
+			continue
+		}
+		ok++
+		margin.Add(float64(cell.Ledger.Margin()))
+		conv.Add(float64(cell.Ledger.Convergence))
+		fork.Add(float64(cell.MaxForkDepth))
+		if cell.Violations > 0 {
+			violationRuns++
+		}
+	}
+	out := AggregateCell{Nu: nu, C: c, Replicates: ok, ViolationRuns: violationRuns}
+	if ok == 0 {
+		out.Err = lastErr
+		return out, nil
+	}
+	lo, hi, err := stats.WilsonInterval(violationRuns, ok)
+	if err != nil {
+		return out, err
+	}
+	out.ViolationRateLo, out.ViolationRateHi = lo, hi
+	out.Margin = margin.Summary()
+	out.Convergence = conv.Summary()
+	out.MaxForkDepth = fork.Summary()
+	return out, nil
 }
 
 // RunReplicated executes the grid `replicates` times with independent
-// seeds and aggregates per cell. Each replicate reuses the parallel worker
-// pool of Run.
+// seeds and aggregates per cell. Every (cell, replicate) pair is an
+// independent job on the shared worker pool, so replicates of slow cells
+// overlap instead of running grid-by-grid. The returned slice is ordered
+// ν-major, matching the input grids.
 func RunReplicated(cfg Config, replicates int) ([]AggregateCell, error) {
+	return RunReplicatedStream(cfg, replicates, nil)
+}
+
+// RunReplicatedStream is RunReplicated with progressive delivery: as the
+// last replicate of a cell completes, the cell is aggregated and handed
+// to onCell (when non-nil) while the rest of the grid is still running.
+// onCell runs on the caller's goroutine; cells arrive in completion
+// order, not grid order. The returned slice is still ν-major.
+func RunReplicatedStream(cfg Config, replicates int, onCell func(AggregateCell)) ([]AggregateCell, error) {
 	if replicates < 1 {
 		return nil, fmt.Errorf("sweep: replicates = %d must be ≥ 1", replicates)
 	}
 	nCells := len(cfg.NuValues) * len(cfg.CValues)
-	type agg struct {
-		margin, conv, fork stats.Accumulator
-		violationRuns      int
-		ok                 int
-		lastErr            error
-	}
-	aggs := make([]agg, nCells)
-	for rep := 0; rep < replicates; rep++ {
-		repCfg := cfg
-		repCfg.Seed = cfg.Seed + uint64(rep)*0x9e3779b97f4a7c15
-		cells, err := Run(repCfg)
-		if err != nil {
-			return nil, err
-		}
-		for i, cell := range cells {
-			if cell.Err != nil {
-				aggs[i].lastErr = cell.Err
-				continue
-			}
-			aggs[i].ok++
-			aggs[i].margin.Add(float64(cell.Ledger.Margin()))
-			aggs[i].conv.Add(float64(cell.Ledger.Convergence))
-			aggs[i].fork.Add(float64(cell.MaxForkDepth))
-			if cell.Violations > 0 {
-				aggs[i].violationRuns++
-			}
-		}
-	}
+	perCell := make([][]Cell, nCells)
+	done := make([]int, nCells)
 	out := make([]AggregateCell, nCells)
-	idx := 0
-	for _, nu := range cfg.NuValues {
-		for _, c := range cfg.CValues {
-			a := &aggs[idx]
-			cell := AggregateCell{Nu: nu, C: c, Replicates: a.ok, ViolationRuns: a.violationRuns}
-			if a.ok == 0 {
-				cell.Err = a.lastErr
-			} else {
-				lo, hi, err := stats.WilsonInterval(a.violationRuns, a.ok)
-				if err != nil {
-					return nil, err
-				}
-				cell.ViolationRateLo, cell.ViolationRateHi = lo, hi
-				cell.Margin = a.margin.Summary()
-				cell.Convergence = a.conv.Summary()
-				cell.MaxForkDepth = a.fork.Summary()
-			}
-			out[idx] = cell
-			idx++
+	var firstErr error
+	err := runJobs(cfg, replicates, func(idx, rep int, cell Cell) {
+		if perCell[idx] == nil {
+			perCell[idx] = make([]Cell, replicates)
 		}
+		perCell[idx][rep] = cell
+		done[idx]++
+		if done[idx] < replicates {
+			return
+		}
+		agg, err := aggregate(cell.Nu, cell.C, perCell[idx])
+		perCell[idx] = nil // the raw replicates are folded; free them early
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[idx] = agg
+		if onCell != nil {
+			onCell(agg)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

@@ -1,21 +1,33 @@
 // Package sweep runs grids of protocol simulations in parallel — the
-// empirical side of Figure 1. Each grid cell fixes an adversarial fraction
-// ν and an expected-delay ratio c, executes the Δ-delay protocol under a
-// chosen adversary, and reports consistency violations, the Lemma-1 ledger
-// (convergence opportunities vs adversarial blocks), and fork statistics.
-// Cells are independent, so they fan out across a bounded worker pool of
-// goroutines.
+// empirical side of Figure 1. Each grid cell fixes an adversarial
+// fraction ν and an expected-delay ratio c, executes the Δ-delay
+// protocol under a chosen adversary, and reports consistency violations,
+// the Lemma-1 ledger (convergence opportunities vs adversarial blocks),
+// and fork statistics.
+//
+// Execution is a job queue: every (cell, replicate) pair is one
+// independent job — the per-cell engine and RNG stream are
+// self-contained — fanned out across a bounded worker pool
+// (GOMAXPROCS-sized by default). Replicated sweeps aggregate each cell
+// as soon as its last replicate lands and can stream the finished
+// AggregateCell to a callback while the rest of the grid is still
+// running; per-cell aggregation always folds replicates in index order,
+// so results are bit-identical regardless of worker scheduling.
 package sweep
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 
 	"neatbound/internal/consistency"
 	"neatbound/internal/engine"
 	"neatbound/internal/metrics"
 	"neatbound/internal/params"
 )
+
+// seedGolden spreads per-replicate and per-cell seeds (the 64-bit golden
+// ratio, the same constant the rng package splits with).
+const seedGolden = 0x9e3779b97f4a7c15
 
 // Config describes a sweep grid.
 type Config struct {
@@ -37,8 +49,12 @@ type Config struct {
 	// NewAdversary builds a fresh strategy per cell (strategies are
 	// stateful); nil runs the passive baseline.
 	NewAdversary func() engine.Adversary
-	// Workers bounds parallelism; 0 means 4.
+	// Workers bounds the job-queue parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Shards is each cell engine's delivery-phase parallelism
+	// (engine.Config.Shards); 0 keeps cell engines serial, the right
+	// choice when the grid itself saturates the workers.
+	Shards int
 }
 
 // Cell is the outcome of one grid point.
@@ -65,19 +81,35 @@ type Cell struct {
 	Err error
 }
 
-// Run executes the grid. Cells whose parameterization is infeasible (p
-// outside (0,1)) are returned with Err set rather than failing the sweep.
-// The returned slice is ordered ν-major, matching the input grids.
-func Run(cfg Config) ([]Cell, error) {
+// validate rejects configurations the runner cannot execute.
+func (cfg Config) validate() error {
 	if cfg.Rounds < 1 {
-		return nil, fmt.Errorf("sweep: rounds = %d must be ≥ 1", cfg.Rounds)
+		return fmt.Errorf("sweep: rounds = %d must be ≥ 1", cfg.Rounds)
 	}
 	if len(cfg.NuValues) == 0 || len(cfg.CValues) == 0 {
-		return nil, fmt.Errorf("sweep: empty grid (%d ν × %d c)", len(cfg.NuValues), len(cfg.CValues))
+		return fmt.Errorf("sweep: empty grid (%d ν × %d c)", len(cfg.NuValues), len(cfg.CValues))
+	}
+	return nil
+}
+
+// cellSeed derives the deterministic seed of one (cell, replicate) job.
+// The derivation matches the pre-job-queue runner (replicate offsets the
+// base seed, the 1-based cell index XORs in), so existing seeded sweeps
+// reproduce their historical results.
+func (cfg Config) cellSeed(idx, rep int) uint64 {
+	return (cfg.Seed + uint64(rep)*seedGolden) ^ (uint64(idx+1) * seedGolden)
+}
+
+// runJobs executes every (cell, replicate) pair of the grid on a worker
+// pool and hands each finished Cell to collect on the caller's
+// goroutine, in completion order.
+func runJobs(cfg Config, replicates int, collect func(idx, rep int, cell Cell)) error {
+	if err := cfg.validate(); err != nil {
+		return err
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = 4
+		workers = runtime.GOMAXPROCS(0)
 	}
 	sampleEvery := cfg.SampleEvery
 	if sampleEvery <= 0 {
@@ -87,31 +119,60 @@ func Run(cfg Config) ([]Cell, error) {
 		}
 	}
 	type job struct {
-		idx    int
-		nu, c  float64
-		cellID uint64
+		idx, rep int
+		nu, c    float64
+	}
+	type result struct {
+		idx, rep int
+		cell     Cell
+	}
+	nCells := len(cfg.NuValues) * len(cfg.CValues)
+	total := nCells * replicates
+	if workers > total {
+		workers = total
 	}
 	jobs := make(chan job)
-	cells := make([]Cell, len(cfg.NuValues)*len(cfg.CValues))
-	var wg sync.WaitGroup
+	results := make(chan result, workers)
+	go func() { // producer
+		for rep := 0; rep < replicates; rep++ {
+			idx := 0
+			for _, nu := range cfg.NuValues {
+				for _, c := range cfg.CValues {
+					jobs <- job{idx: idx, rep: rep, nu: nu, c: c}
+					idx++
+				}
+			}
+		}
+		close(jobs)
+	}()
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
-			defer wg.Done()
 			for j := range jobs {
-				cells[j.idx] = runCell(cfg, j.nu, j.c, cfg.Seed^(j.cellID*0x9e3779b97f4a7c15), sampleEvery)
+				results <- result{
+					idx:  j.idx,
+					rep:  j.rep,
+					cell: runCell(cfg, j.nu, j.c, cfg.cellSeed(j.idx, j.rep), sampleEvery),
+				}
 			}
 		}()
 	}
-	idx := 0
-	for _, nu := range cfg.NuValues {
-		for _, c := range cfg.CValues {
-			jobs <- job{idx: idx, nu: nu, c: c, cellID: uint64(idx + 1)}
-			idx++
-		}
+	for received := 0; received < total; received++ {
+		r := <-results
+		collect(r.idx, r.rep, r.cell)
 	}
-	close(jobs)
-	wg.Wait()
+	return nil
+}
+
+// Run executes the grid once. Cells whose parameterization is infeasible
+// (p outside (0,1)) are returned with Err set rather than failing the
+// sweep. The returned slice is ordered ν-major, matching the input grids.
+func Run(cfg Config) ([]Cell, error) {
+	cells := make([]Cell, len(cfg.NuValues)*len(cfg.CValues))
+	if err := runJobs(cfg, 1, func(idx, _ int, cell Cell) {
+		cells[idx] = cell
+	}); err != nil {
+		return nil, err
+	}
 	return cells, nil
 }
 
@@ -139,6 +200,7 @@ func runCell(cfg Config, nu, c float64, seed uint64, sampleEvery int) Cell {
 		Seed:      seed,
 		Adversary: adv,
 		OnRound:   checker.OnRound,
+		Shards:    cfg.Shards,
 	})
 	if err != nil {
 		cell.Err = err

@@ -168,6 +168,9 @@ type SimulationConfig struct {
 	// SampleEvery is the snapshot interval for the checker; 0 picks
 	// Rounds/50 (min 1).
 	SampleEvery int
+	// Shards is the engine's delivery-phase parallelism (see
+	// engine.Config); 0 or 1 runs serially, any value is bit-identical.
+	Shards int
 }
 
 // SimulationReport summarizes an executed run.
@@ -215,6 +218,7 @@ func Simulate(cfg SimulationConfig) (SimulationReport, error) {
 		Seed:      cfg.Seed,
 		Adversary: cfg.Adversary,
 		OnRound:   checker.OnRound,
+		Shards:    cfg.Shards,
 	})
 	if err != nil {
 		return SimulationReport{}, err
@@ -296,6 +300,13 @@ type AggregateCell = sweep.AggregateCell
 // margin/convergence summaries).
 func SweepReplicated(cfg SweepConfig, replicates int) ([]AggregateCell, error) {
 	return sweep.RunReplicated(cfg, replicates)
+}
+
+// SweepReplicatedStream is SweepReplicated with progressive delivery:
+// each cell is handed to onCell as soon as its last replicate finishes,
+// while the rest of the grid is still running.
+func SweepReplicatedStream(cfg SweepConfig, replicates int, onCell func(AggregateCell)) ([]AggregateCell, error) {
+	return sweep.RunReplicatedStream(cfg, replicates, onCell)
 }
 
 // CatchUpProbability returns the gambler's-ruin probability (ν/µ)^z that
