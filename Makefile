@@ -1,0 +1,35 @@
+# neatbound — build/verify targets. Pure-Go module, no external deps.
+
+GO ?= go
+
+.PHONY: verify fmt vet build test test-race test-parallel bench
+
+## verify: the full tier-1 gate — formatting, vet, build, and the race
+## test suite (~6 min; internal/dist's statistical tests dominate).
+verify: fmt vet build test-race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+## test-parallel: quick race pass over just the worker-parallel code
+## (engine delivery shards, network fan-out, sweep job queue, façade).
+test-parallel:
+	$(GO) test -race ./internal/engine/ ./internal/network/ ./internal/sweep/ .
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .

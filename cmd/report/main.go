@@ -12,7 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"neatbound"
+	"neatbound/internal/engine"
 	"neatbound/internal/report"
 )
 
@@ -31,7 +34,15 @@ func run(args []string) error {
 	replicates := fs.Int("replicates", 0, "override sweep replicates")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 4, "sweep parallelism")
+	advName := fs.String("adversary", "private",
+		"S4 attack strategy: "+strings.Join(neatbound.AdversaryNames(), "|"))
+	forkDepth := fs.Int("fork-depth", 4, "private adversary's target fork depth")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Validate the name once; the per-cell factory below cannot fail.
+	probe, err := neatbound.NewAdversaryByName(*advName, neatbound.AdversaryOpts{ForkDepth: *forkDepth})
+	if err != nil {
 		return err
 	}
 	cfg := report.DefaultConfig
@@ -46,6 +57,15 @@ func run(args []string) error {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	cfg.AdversaryName = probe.Name()
+	name, opts := *advName, neatbound.AdversaryOpts{ForkDepth: *forkDepth}
+	cfg.NewAdversary = func() engine.Adversary {
+		adv, err := neatbound.NewAdversaryByName(name, opts)
+		if err != nil {
+			panic(err) // unreachable: validated above
+		}
+		return adv
+	}
 
 	w := os.Stdout
 	if *out != "" {

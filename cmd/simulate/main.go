@@ -7,12 +7,19 @@
 // Usage:
 //
 //	simulate -n 100 -delta 4 -nu 0.3 -c 2 -rounds 100000 -adversary max-delay -T 8
+//
+// -shards controls the engine's delivery-phase parallelism: an integer
+// pins P, "auto" picks it from GOMAXPROCS and n. Any value is
+// bit-identical.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"neatbound"
 )
@@ -24,21 +31,21 @@ func main() {
 	}
 }
 
-func newAdversary(name string, forkDepth int) (neatbound.Adversary, error) {
-	switch name {
-	case "passive":
-		return neatbound.NewPassiveAdversary(), nil
-	case "max-delay":
-		return neatbound.NewMaxDelayAdversary(), nil
-	case "private":
-		return neatbound.NewPrivateMiningAdversary(forkDepth), nil
-	case "balance":
-		return neatbound.NewBalanceAdversary(), nil
-	case "selfish":
-		return neatbound.NewSelfishAdversary(), nil
-	default:
-		return nil, fmt.Errorf("unknown adversary %q (passive|max-delay|private|balance|selfish)", name)
+// parseShards maps the -shards flag value onto engine shard counts:
+// "auto" selects the automatic heuristic, anything else must be an
+// integer (0 = serial).
+func parseShards(s string) (int, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "auto") {
+		return neatbound.AutoShards, nil
 	}
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("parsing -shards %q (want an integer or \"auto\"): %w", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("-shards %d must be ≥ 0 (or \"auto\")", v)
+	}
+	return v, nil
 }
 
 func run(args []string) error {
@@ -49,10 +56,12 @@ func run(args []string) error {
 	c := fs.Float64("c", 2, "expected Δ-delays per block, c = 1/(pnΔ)")
 	rounds := fs.Int("rounds", 100000, "rounds to simulate")
 	seed := fs.Uint64("seed", 1, "random seed")
-	advName := fs.String("adversary", "max-delay", "strategy: passive|max-delay|private|balance|selfish")
+	advName := fs.String("adversary", "max-delay",
+		"strategy: "+strings.Join(neatbound.AdversaryNames(), "|"))
 	forkDepth := fs.Int("fork-depth", 4, "private adversary's target fork depth")
 	tee := fs.Int("T", 8, "consistency chop parameter (Definition 1)")
-	shards := fs.Int("shards", 0, "engine delivery shards (0 = serial; any value is bit-identical)")
+	shards := fs.String("shards", "0",
+		"engine delivery shards: an integer (0 = serial) or \"auto\"; any value is bit-identical")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,7 +69,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	adv, err := newAdversary(*advName, *forkDepth)
+	nshards, err := parseShards(*shards)
 	if err != nil {
 		return err
 	}
@@ -72,10 +81,13 @@ func run(args []string) error {
 		*n, *delta, *nu, *c, pr.P, *advName, *rounds)
 	fmt.Println("theory:    ", verdict)
 
-	rep, err := neatbound.Simulate(neatbound.SimulationConfig{
-		Params: pr, Rounds: *rounds, Seed: *seed, Adversary: adv, T: *tee,
-		Shards: *shards,
-	})
+	rep, err := neatbound.Run(context.Background(), pr,
+		neatbound.WithRounds(*rounds),
+		neatbound.WithSeed(*seed),
+		neatbound.WithAdversaryName(*advName, neatbound.AdversaryOpts{ForkDepth: *forkDepth}),
+		neatbound.WithConsistency(*tee, 0),
+		neatbound.WithShards(nshards),
+	)
 	if err != nil {
 		return err
 	}

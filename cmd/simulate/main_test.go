@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"neatbound"
+)
 
 func TestRunShortSimulation(t *testing.T) {
 	if err := run([]string{"-n", "20", "-delta", "2", "-nu", "0.25", "-c", "5", "-rounds", "2000", "-adversary", "passive"}); err != nil {
@@ -31,13 +35,44 @@ func TestRunInfeasibleParams(t *testing.T) {
 }
 
 func TestNewAdversaryNames(t *testing.T) {
-	for _, name := range []string{"passive", "max-delay", "private", "balance", "selfish"} {
-		adv, err := newAdversary(name, 3)
+	for _, name := range neatbound.AdversaryNames() {
+		adv, err := neatbound.NewAdversaryByName(name, neatbound.AdversaryOpts{ForkDepth: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if adv.Name() != name && !(name == "private" && adv.Name() == "private-mining") {
 			t.Errorf("constructor for %q named %q", name, adv.Name())
 		}
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"4", 4, true},
+		{"auto", neatbound.AutoShards, true},
+		{"AUTO", neatbound.AutoShards, true},
+		{" auto ", neatbound.AutoShards, true},
+		{"-1", 0, false},
+		{"many", 0, false},
+	} {
+		got, err := parseShards(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("parseShards(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseShards(%q) accepted", tc.in)
+		}
+	}
+}
+
+func TestRunAutoShards(t *testing.T) {
+	if err := run([]string{"-n", "20", "-delta", "2", "-nu", "0.25", "-c", "5",
+		"-rounds", "500", "-adversary", "passive", "-shards", "auto"}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -9,14 +9,17 @@
 // With -replicates R > 1 each cell runs R times with independent seeds
 // and is reported with Wilson confidence bounds; with -json every
 // finished cell is emitted immediately as one JSON line (the
-// AggregateCell, streamed in completion order while the rest of the grid
-// is still running), so long sweeps can be piped and monitored
-// incrementally. -workers sizes the job pool (0 = GOMAXPROCS); -shards
-// additionally parallelizes the delivery phase inside each cell's
-// engine, for grids of few, large cells.
+// AggregateCell interchange of neatbound.MarshalCells, streamed in
+// completion order while the rest of the grid is still running), so long
+// sweeps can be piped, monitored incrementally, and — when the grid is
+// partitioned across machines — reassembled with
+// neatbound.MergeCellStreams. -workers sizes the job pool (0 =
+// GOMAXPROCS); -shards additionally parallelizes the delivery phase
+// inside each cell's engine, for grids of few, large cells.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,13 +50,6 @@ func parseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
-// jsonCell is the streamed per-cell record: the AggregateCell plus its
-// error as a string (errors do not JSON-encode).
-type jsonCell struct {
-	neatbound.AggregateCell
-	Error string `json:"error,omitempty"`
-}
-
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	n := fs.Int("n", 40, "number of miners")
@@ -63,7 +59,8 @@ func run(args []string) error {
 	rounds := fs.Int("rounds", 20000, "rounds per cell")
 	seed := fs.Uint64("seed", 1, "base seed")
 	tee := fs.Int("T", 4, "consistency chop parameter")
-	advName := fs.String("adversary", "private", "strategy: passive|max-delay|private|balance|selfish")
+	advName := fs.String("adversary", "private",
+		"strategy: "+strings.Join(neatbound.AdversaryNames(), "|"))
 	forkDepth := fs.Int("fork-depth", 4, "private adversary's target fork depth")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	shards := fs.Int("shards", 0, "per-cell engine delivery shards (0 = serial)")
@@ -80,28 +77,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	// Validate the strategy name up front so the per-cell factory below
-	// cannot fail.
-	if _, err := newAdversary(*advName, *forkDepth); err != nil {
+	// Validate the strategy name up front, before any grid work starts.
+	if _, err := neatbound.NewAdversaryByName(*advName, neatbound.AdversaryOpts{ForkDepth: *forkDepth}); err != nil {
 		return err
 	}
-	cfg := neatbound.SweepConfig{
-		N: *n, Delta: *delta,
-		NuValues: nus, CValues: cs,
-		Rounds: *rounds, Seed: *seed, T: *tee,
-		Workers: *workers, Shards: *shards,
-		NewAdversary: func() neatbound.Adversary {
-			adv, err := newAdversary(*advName, *forkDepth)
-			if err != nil {
-				panic(err) // validated above before the sweep runs
-			}
-			return adv
-		},
+	grid := neatbound.SweepGrid{N: *n, Delta: *delta, NuValues: nus, CValues: cs}
+	opts := []neatbound.Option{
+		neatbound.WithRounds(*rounds),
+		neatbound.WithSeed(*seed),
+		neatbound.WithConsistency(*tee, 0),
+		neatbound.WithAdversaryName(*advName, neatbound.AdversaryOpts{ForkDepth: *forkDepth}),
+		neatbound.WithWorkers(*workers),
+		neatbound.WithShards(*shards),
+		neatbound.WithReplicates(*replicates),
 	}
 	if *jsonOut || *replicates > 1 {
-		return runReplicated(cfg, *replicates, *jsonOut)
+		return runStreaming(grid, opts, *jsonOut)
 	}
-	cells, err := neatbound.Sweep(cfg)
+	cells, err := neatbound.RunSweep(context.Background(), grid, opts...)
 	if err != nil {
 		return err
 	}
@@ -117,17 +110,18 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-7.3g %-8.3g %-9v %-8d %-11d %-11d %-8d %d\n",
-			cell.Nu, cell.C, cell.C > neat, cell.Violations,
-			cell.Ledger.Convergence, cell.Ledger.Adversary,
-			cell.Ledger.Margin(), cell.MaxForkDepth)
+		// A single replicate's aggregate: each mean IS that replicate's
+		// integer count.
+		fmt.Printf("%-7.3g %-8.3g %-9v %-8.0f %-11.0f %-11.0f %-8.0f %.0f\n",
+			cell.Nu, cell.C, cell.C > neat, cell.Violations.Mean,
+			cell.Convergence.Mean, cell.Adversary.Mean, cell.Margin.Mean, cell.MaxForkDepth.Mean)
 	}
 	return nil
 }
 
-// runReplicated executes the replicated sweep, streaming each finished
-// cell: as JSON lines with -json, as a live table otherwise.
-func runReplicated(cfg neatbound.SweepConfig, replicates int, jsonOut bool) error {
+// runStreaming executes the sweep with progressive per-cell delivery: as
+// JSON interchange lines with -json, as a live table otherwise.
+func runStreaming(grid neatbound.SweepGrid, opts []neatbound.Option, jsonOut bool) error {
 	enc := json.NewEncoder(os.Stdout)
 	if !jsonOut {
 		fmt.Printf("%-7s %-8s %-5s %-7s %-19s %-13s %s\n",
@@ -135,11 +129,7 @@ func runReplicated(cfg neatbound.SweepConfig, replicates int, jsonOut bool) erro
 	}
 	emit := func(cell neatbound.AggregateCell) error {
 		if jsonOut {
-			jc := jsonCell{AggregateCell: cell}
-			if cell.Err != nil {
-				jc.Error = cell.Err.Error()
-			}
-			return enc.Encode(jc)
+			return neatbound.MarshalCell(enc, cell)
 		}
 		if cell.Err != nil {
 			fmt.Printf("%-7.3g %-8.3g infeasible: %v\n", cell.Nu, cell.C, cell.Err)
@@ -152,30 +142,13 @@ func runReplicated(cfg neatbound.SweepConfig, replicates int, jsonOut bool) erro
 		return nil
 	}
 	var emitErr error
-	_, err := neatbound.SweepReplicatedStream(cfg, replicates, func(cell neatbound.AggregateCell) {
+	opts = append(opts, neatbound.WithCellObserver(func(cell neatbound.AggregateCell) {
 		if emitErr == nil {
 			emitErr = emit(cell)
 		}
-	})
-	if err != nil {
+	}))
+	if _, err := neatbound.RunSweep(context.Background(), grid, opts...); err != nil {
 		return err
 	}
 	return emitErr
-}
-
-func newAdversary(name string, forkDepth int) (neatbound.Adversary, error) {
-	switch name {
-	case "passive":
-		return neatbound.NewPassiveAdversary(), nil
-	case "max-delay":
-		return neatbound.NewMaxDelayAdversary(), nil
-	case "private":
-		return neatbound.NewPrivateMiningAdversary(forkDepth), nil
-	case "balance":
-		return neatbound.NewBalanceAdversary(), nil
-	case "selfish":
-		return neatbound.NewSelfishAdversary(), nil
-	default:
-		return nil, fmt.Errorf("unknown adversary %q", name)
-	}
 }

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,15 +33,17 @@ func main() {
 	}
 	fmt.Print(tab)
 
-	// Simulate 100k rounds with every honest message delayed the full Δ —
-	// the adversary scheduling the theorems must survive.
-	rep, err := neatbound.Simulate(neatbound.SimulationConfig{
-		Params:    pr,
-		Rounds:    100000,
-		Seed:      42,
-		Adversary: neatbound.NewMaxDelayAdversary(),
-		T:         8,
-	})
+	// Run 100k rounds with every honest message delayed the full Δ — the
+	// adversary scheduling the theorems must survive. Run is the
+	// context-aware entry point: cancel ctx to stop mid-flight with a
+	// partial report, add WithObserver/WithProgress/WithTraceJSON hooks
+	// to watch the round stream.
+	rep, err := neatbound.Run(context.Background(), pr,
+		neatbound.WithRounds(100000),
+		neatbound.WithSeed(42),
+		neatbound.WithAdversary(neatbound.NewMaxDelayAdversary()),
+		neatbound.WithConsistency(8, 0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -31,8 +31,21 @@ type goldenCase struct {
 }
 
 // traceHash runs the case and folds every per-round record plus the
-// final state into an FNV-1a hash.
+// final state into an FNV-1a hash. The record stream is tapped through
+// the legacy Config.OnRound hook; observerTraceHash taps the same
+// stream through the Observer stack instead.
 func traceHash(t *testing.T, gc goldenCase) uint64 {
+	return traceHashVia(t, gc, false)
+}
+
+// observerTraceHash is traceHash with the mixer riding Config.Observer
+// as one member of a MultiObserver — pinning that the observer
+// multiplexer sees the identical record stream.
+func observerTraceHash(t *testing.T, gc goldenCase) uint64 {
+	return traceHashVia(t, gc, true)
+}
+
+func traceHashVia(t *testing.T, gc goldenCase, viaObserver bool) uint64 {
 	cfg := gc.cfg
 	t.Helper()
 	const (
@@ -46,8 +59,7 @@ func traceHash(t *testing.T, gc goldenCase) uint64 {
 			h = (h ^ (v >> i & 0xff)) * prime
 		}
 	}
-	prev := cfg.OnRound
-	cfg.OnRound = func(e *engine.Engine, rec engine.RoundRecord) {
+	mixRec := func(rec engine.RoundRecord) {
 		mix(uint64(rec.Round))
 		mix(math.Float64bits(rec.Nu))
 		mix(uint64(rec.HonestMined))
@@ -55,8 +67,22 @@ func traceHash(t *testing.T, gc goldenCase) uint64 {
 		mix(uint64(rec.MaxHonestHeight))
 		mix(uint64(rec.MinHonestHeight))
 		mix(uint64(rec.DistinctTips))
-		if prev != nil {
-			prev(e, rec)
+	}
+	if viaObserver {
+		// Ride a real multiplexer: the mixer plus a second observer, so
+		// the fan-out path itself is on the pinned execution.
+		rounds := 0
+		cfg.Observer = engine.Observers(
+			engine.ObserverFunc(func(_ *engine.Engine, rec engine.RoundRecord) { mixRec(rec) }),
+			engine.ObserverFunc(func(_ *engine.Engine, _ engine.RoundRecord) { rounds++ }),
+		)
+	} else {
+		prev := cfg.OnRound
+		cfg.OnRound = func(e *engine.Engine, rec engine.RoundRecord) {
+			mixRec(rec)
+			if prev != nil {
+				prev(e, rec)
+			}
 		}
 	}
 	e, err := engine.New(cfg)
@@ -180,6 +206,26 @@ func TestGoldenTracesSharded(t *testing.T) {
 				want := goldenTraces[name]
 				if got != want {
 					t.Errorf("sharded trace hash = %#x, want %#x — P=%d diverged from the serial engine", got, want, shards)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenTracesObserver pins that the Observer stack sees the exact
+// record stream the legacy OnRound hook saw: for every golden
+// configuration — serial and on a non-dividing shard count — the hash
+// mixed through a MultiObserver reproduces the pinned golden hashes.
+func TestGoldenTracesObserver(t *testing.T) {
+	for _, shards := range []int{0, 3} {
+		for name, gc := range goldenCases(t) {
+			gc := gc
+			gc.cfg.Shards = shards
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				got := observerTraceHash(t, gc)
+				want := goldenTraces[name]
+				if got != want {
+					t.Errorf("observer trace hash = %#x, want %#x — the Observer path diverged from the OnRound path", got, want)
 				}
 			})
 		}

@@ -112,20 +112,49 @@ func (a Accounting) Margin() int { return a.Convergence - a.Adversary }
 // Account replays a run's records through a ConvergenceCounter and returns
 // the Lemma-1 ledger for the whole run.
 func Account(records []engine.RoundRecord, delta int) (Accounting, error) {
-	counter, err := NewConvergenceCounter(delta)
+	rec, err := NewLedgerRecorder(delta)
 	if err != nil {
 		return Accounting{}, err
 	}
-	adv := 0
-	for _, rec := range records {
-		counter.Observe(rec.HonestMined)
-		adv += rec.AdversaryMined
+	for _, r := range records {
+		rec.OnRound(nil, r)
 	}
+	return rec.Accounting(), nil
+}
+
+// LedgerRecorder is the streaming form of Account: an engine.Observer
+// that folds every round into the Lemma-1 ledger as the run executes,
+// so the accounting needs no post-run replay of the record slice. The
+// resulting Accounting is bit-identical to Account over the same
+// records (both drive the same ConvergenceCounter on integer counts).
+type LedgerRecorder struct {
+	counter *ConvergenceCounter
+	adv     int
+}
+
+// NewLedgerRecorder returns a recorder for delay bound delta ≥ 1.
+func NewLedgerRecorder(delta int) (*LedgerRecorder, error) {
+	counter, err := NewConvergenceCounter(delta)
+	if err != nil {
+		return nil, err
+	}
+	return &LedgerRecorder{counter: counter}, nil
+}
+
+// OnRound implements engine.Observer; the engine argument is unused, so
+// record slices can be replayed with a nil engine.
+func (l *LedgerRecorder) OnRound(_ *engine.Engine, rec engine.RoundRecord) {
+	l.counter.Observe(rec.HonestMined)
+	l.adv += rec.AdversaryMined
+}
+
+// Accounting returns the ledger over the rounds observed so far.
+func (l *LedgerRecorder) Accounting() Accounting {
 	return Accounting{
-		Rounds:      len(records),
-		Convergence: counter.Count(),
-		Adversary:   adv,
-	}, nil
+		Rounds:      l.counter.Rounds(),
+		Convergence: l.counter.Count(),
+		Adversary:   l.adv,
+	}
 }
 
 // Snapshot captures the distinct honest chain tips at one round.
@@ -149,8 +178,8 @@ type Violation struct {
 }
 
 // Checker samples honest views during a run and evaluates the Definition-1
-// predicate across all sampled round pairs afterwards. Attach OnRound as
-// the engine's observer, then call Check.
+// predicate across all sampled round pairs afterwards. Attach the checker
+// as an engine Observer (it implements engine.Observer), then call Check.
 type Checker struct {
 	// T is Definition 1's chop parameter.
 	T int
@@ -172,8 +201,8 @@ func NewChecker(tee, every int) (*Checker, error) {
 	return &Checker{T: tee, Every: every}, nil
 }
 
-// OnRound snapshots the engine's distinct honest tips on sampling rounds.
-// It matches the engine.Config.OnRound signature.
+// OnRound implements engine.Observer: it snapshots the engine's distinct
+// honest tips on sampling rounds.
 func (c *Checker) OnRound(e *engine.Engine, rec engine.RoundRecord) {
 	if rec.Round%c.Every != 0 {
 		return

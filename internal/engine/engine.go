@@ -20,8 +20,11 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"neatbound/internal/blockchain"
 	"neatbound/internal/mining"
@@ -88,8 +91,15 @@ type Config struct {
 	Seed uint64
 	// Adversary is the strategy; nil selects PassiveAdversary.
 	Adversary Adversary
-	// OnRound, when non-nil, is called at the end of every round with the
-	// engine (for view inspection) and the round's record.
+	// Observer, when non-nil, receives every round's record (after the
+	// round is final) and, if it implements FinishObserver, the run's
+	// result. Compose several with Observers — the consistency checker,
+	// metric recorders, trace writers, and user hooks all attach here.
+	Observer Observer
+	// OnRound is the legacy single-function hook, called after Observer.
+	//
+	// Deprecated: set Observer instead (wrap a func with ObserverFunc);
+	// OnRound remains only so existing callers keep compiling.
 	OnRound func(e *Engine, rec RoundRecord)
 	// NuSchedule, when non-nil, makes corruption adaptive (the model's
 	// "A can corrupt an honest party or uncorrupt a corrupted player"):
@@ -99,9 +109,44 @@ type Config struct {
 	// range. Params.Nu still bounds validation and sets the baseline.
 	NuSchedule func(round int) float64
 	// Shards is the delivery-phase parallelism P (see the type comment).
-	// Values ≤ 1 run the phase serially; values above the player count
-	// are clamped to it. Any P produces bit-identical executions.
+	// 0 or 1 runs the phase serially; values above the player count are
+	// clamped to it; AutoShards (any negative value) picks P from
+	// GOMAXPROCS and the player count. Any P produces bit-identical
+	// executions.
 	Shards int
+}
+
+// AutoShards, assigned to Config.Shards, selects the delivery-phase
+// parallelism automatically: serial below autoShardMinPlayers (where the
+// per-round worker spawn cost dominates — see the BENCH_engine.json
+// large-n notes), otherwise GOMAXPROCS capped so every shard keeps at
+// least autoShardPlayersPerWorker players. Because any shard count is
+// bit-identical, the pick affects only throughput, never results.
+const AutoShards = -1
+
+const (
+	// autoShardMinPlayers is the player count below which AutoShards
+	// stays serial: per-round goroutine spawn + barrier overhead beats
+	// the parallel speedup for small rounds.
+	autoShardMinPlayers = 8192
+	// autoShardPlayersPerWorker keeps auto-picked shards coarse enough
+	// to amortize the round barrier.
+	autoShardPlayersPerWorker = 2048
+)
+
+// autoShards resolves AutoShards for a player count.
+func autoShards(players int) int {
+	if players < autoShardMinPlayers {
+		return 1
+	}
+	p := runtime.GOMAXPROCS(0)
+	if cap := players / autoShardPlayersPerWorker; p > cap {
+		p = cap
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // RoundRecord summarizes one executed round.
@@ -138,6 +183,9 @@ type Result struct {
 	FinalTips []blockchain.BlockID
 	// HonestBlocks and AdversaryBlocks count blocks mined over the run.
 	HonestBlocks, AdversaryBlocks int
+	// Partial is set when the run was cut short by context cancellation;
+	// Records then holds only the rounds executed before the cut.
+	Partial bool
 }
 
 // Engine drives one protocol execution. Create with New, then Run.
@@ -154,9 +202,12 @@ type Engine struct {
 	players int
 	honest  int
 	adv     Adversary
-	advRng  *rng.Stream
-	mineRg  *rng.Stream
-	tips    []blockchain.BlockID // one view per player; [0, honest) are honest
+	// obs is the composed observer stack (Config.Observer plus the
+	// legacy Config.OnRound hook); nil when neither is set.
+	obs    Observer
+	advRng *rng.Stream
+	mineRg *rng.Stream
+	tips   []blockchain.BlockID // one view per player; [0, honest) are honest
 	// tipHeights mirrors tips with each view's chain height, so the hot
 	// path never needs a tree lookup to compare chains.
 	tipHeights []int
@@ -218,6 +269,10 @@ func New(cfg Config) (*Engine, error) {
 	if adv == nil {
 		adv = PassiveAdversary{}
 	}
+	obs := cfg.Observer
+	if cfg.OnRound != nil {
+		obs = Observers(obs, ObserverFunc(cfg.OnRound))
+	}
 	root := rng.New(cfg.Seed)
 	e := &Engine{
 		cfg:        cfg,
@@ -229,6 +284,7 @@ func New(cfg Config) (*Engine, error) {
 		honest:     honest,
 		halfLo:     honest / 2,
 		adv:        adv,
+		obs:        obs,
 		advRng:     root.Split(1),
 		mineRg:     root.Split(2),
 		tips:       make([]blockchain.BlockID, players),
@@ -241,6 +297,9 @@ func New(cfg Config) (*Engine, error) {
 	// by at most one) and count every honest view — all at genesis,
 	// height 0 — into its shard's accumulator.
 	nshards := cfg.Shards
+	if nshards < 0 {
+		nshards = autoShards(players)
+	}
 	if nshards < 1 {
 		nshards = 1
 	}
@@ -440,26 +499,71 @@ func (e *Engine) BranchBest() (tips [2]blockchain.BlockID, heights [2]int) {
 	return tips, heights
 }
 
-// Run executes cfg.Rounds rounds and returns the result.
-func (e *Engine) Run() (*Result, error) {
+// Run executes cfg.Rounds rounds and returns the result. It is
+// RunContext with a background context.
+func (e *Engine) Run() (*Result, error) { return e.RunContext(context.Background()) }
+
+// RunContext executes cfg.Rounds rounds, checking ctx between rounds.
+// When ctx is cancelled the run stops before the next round and returns
+// the partial result — Partial set, Records holding the rounds executed
+// so far — together with ctx.Err(); a mid-round engine error likewise
+// returns the partial result with that error. Observers' OnFinish hooks
+// run in every case — complete, cancelled, or failed — so writers
+// flush; their error is joined onto the run's.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{
 		Tree:    e.tree,
 		Records: make([]RoundRecord, 0, e.cfg.Rounds),
 	}
+	done := ctx.Done()
 	for r := 1; r <= e.cfg.Rounds; r++ {
+		if done != nil {
+			select {
+			case <-done:
+				res.Partial = true
+				e.finalize(res)
+				return res, errors.Join(ctx.Err(), e.finishObservers(res))
+			default:
+			}
+		}
 		rec, err := e.step()
 		if err != nil {
-			return nil, err
+			// A failed round still yields the rounds executed before it,
+			// and observers still finalize (so trace writers flush and
+			// surface their own deferred errors alongside the step's).
+			res.Partial = true
+			e.finalize(res)
+			return res, errors.Join(err, e.finishObservers(res))
 		}
 		res.Records = append(res.Records, rec)
-		if e.cfg.OnRound != nil {
-			e.cfg.OnRound(e, rec)
+		if e.obs != nil {
+			e.obs.OnRound(e, rec)
 		}
 	}
+	e.finalize(res)
+	if err := e.finishObservers(res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// finalize copies the run-level outcome into res.
+func (e *Engine) finalize(res *Result) {
 	res.FinalTips = append([]blockchain.BlockID(nil), e.tips...)
 	res.HonestBlocks = e.honestBlocks
 	res.AdversaryBlocks = e.adversaryBlocks
-	return res, nil
+}
+
+// finishObservers dispatches the OnFinish hook of the observer stack.
+func (e *Engine) finishObservers(res *Result) error {
+	f, ok := e.obs.(FinishObserver)
+	if !ok {
+		return nil
+	}
+	if err := f.OnFinish(res); err != nil {
+		return fmt.Errorf("engine: observer finish: %w", err)
+	}
+	return nil
 }
 
 // step executes one round.

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Observer receives the engine's per-round record stream. Observers are
+// invoked on the engine's goroutine at the end of every round, after the
+// round's record is final; they may inspect honest views through the
+// engine but must not mutate the execution. Several observers compose
+// through Observers — the consistency checker, metric recorders, trace
+// writers, and user hooks all run side by side in one pass.
+type Observer interface {
+	// OnRound is called once per executed round.
+	OnRound(e *Engine, rec RoundRecord)
+}
+
+// FinishObserver is the optional finalization extension of Observer:
+// OnFinish runs once after the last round — including a run cut short by
+// context cancellation, with res.Partial set — and may surface a
+// deferred error (e.g. a trace writer's I/O failure).
+type FinishObserver interface {
+	Observer
+	// OnFinish is called once with the run's result.
+	OnFinish(res *Result) error
+}
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc func(e *Engine, rec RoundRecord)
+
+// OnRound implements Observer.
+func (f ObserverFunc) OnRound(e *Engine, rec RoundRecord) { f(e, rec) }
+
+// MultiObserver fans the round stream out to several observers, in
+// order. Construct with Observers, which flattens and drops nils.
+type MultiObserver []Observer
+
+// OnRound implements Observer by forwarding to every member.
+func (m MultiObserver) OnRound(e *Engine, rec RoundRecord) {
+	for _, o := range m {
+		o.OnRound(e, rec)
+	}
+}
+
+// OnFinish implements FinishObserver: every member implementing
+// FinishObserver is finalized (all of them, even after a failure) and
+// the first error is returned.
+func (m MultiObserver) OnFinish(res *Result) error {
+	var first error
+	for _, o := range m {
+		f, ok := o.(FinishObserver)
+		if !ok {
+			continue
+		}
+		if err := f.OnFinish(res); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Observers composes observers into one: nils are dropped, nested
+// MultiObservers are flattened, and the degenerate cases collapse (no
+// observers → nil, one observer → itself).
+func Observers(obs ...Observer) Observer {
+	var flat MultiObserver
+	for _, o := range obs {
+		switch v := o.(type) {
+		case nil:
+			continue
+		case MultiObserver:
+			flat = append(flat, v...)
+		default:
+			flat = append(flat, o)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	default:
+		return flat
+	}
+}
+
+// TraceWriter is an Observer streaming every RoundRecord as one JSON
+// line — the round-trace interchange for external analysis. Encoding
+// errors are sticky: the first one stops further writes and is reported
+// by OnFinish.
+type TraceWriter struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewTraceWriter returns a JSON-lines round-trace observer writing to w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{enc: json.NewEncoder(w)}
+}
+
+// OnRound implements Observer.
+func (t *TraceWriter) OnRound(_ *Engine, rec RoundRecord) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(rec)
+}
+
+// OnFinish implements FinishObserver, surfacing the first write error.
+func (t *TraceWriter) OnFinish(*Result) error { return t.err }

@@ -35,6 +35,14 @@ type Config struct {
 	Seed uint64
 	// Workers bounds sweep parallelism.
 	Workers int
+	// NewAdversary builds the attack strategy of the S4 sweep, one fresh
+	// instance per cell; nil keeps the paper's private-mining attacker
+	// (MinForkDepth 4). cmd/report wires this from its -adversary flag
+	// through neatbound.NewAdversaryByName.
+	NewAdversary func() engine.Adversary
+	// AdversaryName labels the S4 strategy in the report output; empty
+	// means the default "private-mining".
+	AdversaryName string
 }
 
 // DefaultConfig is the full-size suite (a few minutes on a laptop).
@@ -241,7 +249,17 @@ func sectionS3Stationary(w io.Writer, cfg Config) error {
 }
 
 func sectionS4Sweep(w io.Writer, cfg Config) error {
-	fmt.Fprintf(w, "\n## S4 — consistency across the bound (private-mining attack)\n\n")
+	name := cfg.AdversaryName
+	if name == "" {
+		name = "private-mining"
+	}
+	newAdv := cfg.NewAdversary
+	if newAdv == nil {
+		newAdv = func() engine.Adversary {
+			return &adversary.PrivateMining{MinForkDepth: 4}
+		}
+	}
+	fmt.Fprintf(w, "\n## S4 — consistency across the bound (%s attack)\n\n", name)
 	fmt.Fprintf(w, "n=40 Δ=8 ν=0.45 (neat bound c > 5.48), T=3, %d rounds × %d replicates\n\n",
 		cfg.Rounds/3, cfg.Replicates)
 	cells, err := sweep.RunReplicated(sweep.Config{
@@ -249,9 +267,7 @@ func sectionS4Sweep(w io.Writer, cfg Config) error {
 		NuValues: []float64{0.45},
 		CValues:  []float64{0.6, 2, 5.5, 25},
 		Rounds:   cfg.Rounds / 3, Seed: cfg.Seed + 21, T: 3, Workers: cfg.Workers,
-		NewAdversary: func() engine.Adversary {
-			return &adversary.PrivateMining{MinForkDepth: 4}
-		},
+		NewAdversary: newAdv,
 	}, cfg.Replicates)
 	if err != nil {
 		return err

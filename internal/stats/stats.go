@@ -76,6 +76,42 @@ func Summarize(xs []float64) Summary {
 	return a.Summary()
 }
 
+// Merge combines two summaries as if their underlying samples were
+// pooled into one, using the parallel Welford update (Chan et al.): the
+// merged mean and M2 are exact functions of the inputs, so merging
+// per-machine summaries reproduces what a single accumulator over the
+// union would report (up to the one float rounding of the combine step).
+// Zero-sample summaries act as identities.
+func Merge(a, b Summary) Summary {
+	if a.N == 0 {
+		return b
+	}
+	if b.N == 0 {
+		return a
+	}
+	na, nb := float64(a.N), float64(b.N)
+	n := a.N + b.N
+	// Reconstruct each side's sum of squared deviations from its sample
+	// std (n−1 denominator, inverting Accumulator.Std).
+	m2a := a.Std * a.Std * (na - 1)
+	m2b := b.Std * b.Std * (nb - 1)
+	delta := b.Mean - a.Mean
+	mean := a.Mean + delta*nb/float64(n)
+	m2 := m2a + m2b + delta*delta*na*nb/float64(n)
+	std := 0.0
+	if n > 1 {
+		std = math.Sqrt(m2 / float64(n-1))
+	}
+	out := Summary{N: n, Mean: mean, Std: std, Min: a.Min, Max: a.Max}
+	if b.Min < out.Min {
+		out.Min = b.Min
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	return out
+}
+
 // CI95 returns the normal-approximation 95% confidence interval on the
 // mean. With n < 2 the interval collapses to the mean.
 func (s Summary) CI95() (lo, hi float64) {

@@ -182,6 +182,38 @@ func TestQuickWilsonContainsMLE(t *testing.T) {
 	}
 }
 
+func TestMergeMatchesPooledAccumulator(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	for split := 1; split < len(xs); split++ {
+		a := Summarize(xs[:split])
+		b := Summarize(xs[split:])
+		merged := Merge(a, b)
+		want := Summarize(xs)
+		if merged.N != want.N || merged.Min != want.Min || merged.Max != want.Max {
+			t.Fatalf("split %d: merged %+v, want %+v", split, merged, want)
+		}
+		if math.Abs(merged.Mean-want.Mean) > 1e-12 || math.Abs(merged.Std-want.Std) > 1e-12 {
+			t.Fatalf("split %d: merged mean/std %g/%g, want %g/%g",
+				split, merged.Mean, merged.Std, want.Mean, want.Std)
+		}
+	}
+}
+
+func TestMergeIdentities(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if got := Merge(Summary{}, s); got != s {
+		t.Errorf("Merge(zero, s) = %+v", got)
+	}
+	if got := Merge(s, Summary{}); got != s {
+		t.Errorf("Merge(s, zero) = %+v", got)
+	}
+	one := Summarize([]float64{7})
+	merged := Merge(one, one)
+	if merged.N != 2 || merged.Mean != 7 || merged.Std != 0 {
+		t.Errorf("Merge of two singletons = %+v", merged)
+	}
+}
+
 func TestRelativeError(t *testing.T) {
 	if RelativeError(11, 10) != 0.1 {
 		t.Error("basic relative error")

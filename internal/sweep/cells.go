@@ -1,0 +1,162 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"neatbound/internal/stats"
+)
+
+// wireCell is the JSON-lines wire form of an AggregateCell: the cell's
+// fields plus its error as a string (errors do not round-trip through
+// encoding/json). It is the interchange format cmd/sweep -json emits and
+// the cross-process sweep sharding merges.
+type wireCell struct {
+	AggregateCell
+	Error string `json:"error,omitempty"`
+}
+
+// MarshalCells writes one JSON line per cell to w — the streamed
+// AggregateCell interchange. Cells with Err set carry it in the "error"
+// field.
+func MarshalCells(w io.Writer, cells []AggregateCell) error {
+	enc := json.NewEncoder(w)
+	for _, cell := range cells {
+		if err := MarshalCell(enc, cell); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalCell encodes a single cell onto enc in the interchange form —
+// the streaming building block behind MarshalCells.
+func MarshalCell(enc *json.Encoder, cell AggregateCell) error {
+	wc := wireCell{AggregateCell: cell}
+	if cell.Err != nil {
+		wc.Error = cell.Err.Error()
+	}
+	if err := enc.Encode(wc); err != nil {
+		return fmt.Errorf("sweep: marshal cell (ν=%g, c=%g): %w", cell.Nu, cell.C, err)
+	}
+	return nil
+}
+
+// UnmarshalCells reads a JSON-lines AggregateCell stream (the
+// MarshalCells format), restoring "error" fields into Err. Blank lines
+// are skipped, so concatenated shard outputs parse directly.
+func UnmarshalCells(r io.Reader) ([]AggregateCell, error) {
+	var out []AggregateCell
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var wc wireCell
+		if err := json.Unmarshal(raw, &wc); err != nil {
+			return nil, fmt.Errorf("sweep: unmarshal cell line %d: %w", line, err)
+		}
+		cell := wc.AggregateCell
+		if wc.Error != "" {
+			cell.Err = errors.New(wc.Error)
+		}
+		out = append(out, cell)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: unmarshal cells: %w", err)
+	}
+	return out, nil
+}
+
+// MergeCellStreams folds several JSON-lines AggregateCell streams — the
+// outputs of cross-process sweep shards, each covering a partition of
+// the grid — into one slice sorted ascending by (ν, c). Cells appearing
+// in exactly one stream pass through unchanged; duplicate (ν, c) cells
+// (shards that split a cell's replicates) are merged exactly: replicate
+// and violation counts add, the Wilson interval is recomputed from the
+// pooled counts, and the margin/convergence/fork summaries combine via
+// the parallel Welford update (stats.Merge). A duplicate's Err survives
+// the merge even when the other side succeeded — a failed or cancelled
+// shard must stay visible in the pooled cell.
+func MergeCellStreams(streams ...io.Reader) ([]AggregateCell, error) {
+	var all []AggregateCell
+	for i, r := range streams {
+		cells, err := UnmarshalCells(r)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: merge stream %d: %w", i, err)
+		}
+		all = append(all, cells...)
+	}
+	return MergeCells(all)
+}
+
+// MergeCells is MergeCellStreams on already-decoded cells.
+func MergeCells(cells []AggregateCell) ([]AggregateCell, error) {
+	type key struct{ nu, c float64 }
+	merged := make(map[key]AggregateCell)
+	order := make([]key, 0, len(cells))
+	for _, cell := range cells {
+		k := key{cell.Nu, cell.C}
+		prev, ok := merged[k]
+		if !ok {
+			merged[k] = cell
+			order = append(order, k)
+			continue
+		}
+		m, err := mergePair(prev, cell)
+		if err != nil {
+			return nil, err
+		}
+		merged[k] = m
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].nu != order[j].nu {
+			return order[i].nu < order[j].nu
+		}
+		return order[i].c < order[j].c
+	})
+	out := make([]AggregateCell, len(order))
+	for i, k := range order {
+		out[i] = merged[k]
+	}
+	return out, nil
+}
+
+// mergePair pools two aggregates of the same (ν, c) cell.
+func mergePair(a, b AggregateCell) (AggregateCell, error) {
+	out := AggregateCell{
+		Nu: a.Nu, C: a.C,
+		Replicates:    a.Replicates + b.Replicates,
+		ViolationRuns: a.ViolationRuns + b.ViolationRuns,
+		Violations:    stats.Merge(a.Violations, b.Violations),
+		Margin:        stats.Merge(a.Margin, b.Margin),
+		Convergence:   stats.Merge(a.Convergence, b.Convergence),
+		Adversary:     stats.Merge(a.Adversary, b.Adversary),
+		MaxForkDepth:  stats.Merge(a.MaxForkDepth, b.MaxForkDepth),
+	}
+	// A side's error always survives the merge: a duplicate that failed
+	// wholesale (e.g. a cancelled shard streaming Replicates = 0 with
+	// ctx.Err()) must not silently vanish into the other side's clean
+	// aggregate — the driver needs to see that replicates are missing.
+	out.Err = a.Err
+	if out.Err == nil {
+		out.Err = b.Err
+	}
+	if out.Replicates == 0 {
+		return out, nil
+	}
+	lo, hi, err := stats.WilsonInterval(out.ViolationRuns, out.Replicates)
+	if err != nil {
+		return out, fmt.Errorf("sweep: merge cell (ν=%g, c=%g): %w", a.Nu, a.C, err)
+	}
+	out.ViolationRateLo, out.ViolationRateHi = lo, hi
+	return out, nil
+}

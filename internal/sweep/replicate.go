@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"neatbound/internal/stats"
@@ -21,10 +22,16 @@ type AggregateCell struct {
 	// ViolationRateLo and ViolationRateHi are the 95% Wilson bounds on
 	// the per-run violation probability.
 	ViolationRateLo, ViolationRateHi float64
+	// Violations summarizes the per-run violation counts (ViolationRuns
+	// only says how many runs had any).
+	Violations stats.Summary
 	// Margin summarizes the Lemma-1 margin C−A across replicates.
 	Margin stats.Summary
 	// Convergence summarizes the convergence-opportunity counts.
 	Convergence stats.Summary
+	// Adversary summarizes the adversarial block counts (the A side of
+	// the ledger).
+	Adversary stats.Summary
 	// MaxForkDepth summarizes the deepest fork per run.
 	MaxForkDepth stats.Summary
 	// Err is set when every replicate failed (e.g. infeasible p). It is
@@ -37,7 +44,7 @@ type AggregateCell struct {
 // order, so the floating-point summaries are bit-identical no matter how
 // the worker pool interleaved the runs.
 func aggregate(nu, c float64, reps []Cell) (AggregateCell, error) {
-	var margin, conv, fork stats.Accumulator
+	var margin, conv, adv, fork, viol stats.Accumulator
 	violationRuns, ok := 0, 0
 	var lastErr error
 	for _, cell := range reps {
@@ -48,7 +55,9 @@ func aggregate(nu, c float64, reps []Cell) (AggregateCell, error) {
 		ok++
 		margin.Add(float64(cell.Ledger.Margin()))
 		conv.Add(float64(cell.Ledger.Convergence))
+		adv.Add(float64(cell.Ledger.Adversary))
 		fork.Add(float64(cell.MaxForkDepth))
+		viol.Add(float64(cell.Violations))
 		if cell.Violations > 0 {
 			violationRuns++
 		}
@@ -63,8 +72,10 @@ func aggregate(nu, c float64, reps []Cell) (AggregateCell, error) {
 		return out, err
 	}
 	out.ViolationRateLo, out.ViolationRateHi = lo, hi
+	out.Violations = viol.Summary()
 	out.Margin = margin.Summary()
 	out.Convergence = conv.Summary()
+	out.Adversary = adv.Summary()
 	out.MaxForkDepth = fork.Summary()
 	return out, nil
 }
@@ -75,7 +86,11 @@ func aggregate(nu, c float64, reps []Cell) (AggregateCell, error) {
 // overlap instead of running grid-by-grid. The returned slice is ordered
 // ν-major, matching the input grids.
 func RunReplicated(cfg Config, replicates int) ([]AggregateCell, error) {
-	return RunReplicatedStream(cfg, replicates, nil)
+	cells, err := RunGrid(context.Background(), cfg, replicates, nil)
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
 }
 
 // RunReplicatedStream is RunReplicated with progressive delivery: as the
@@ -84,6 +99,23 @@ func RunReplicated(cfg Config, replicates int) ([]AggregateCell, error) {
 // onCell runs on the caller's goroutine; cells arrive in completion
 // order, not grid order. The returned slice is still ν-major.
 func RunReplicatedStream(cfg Config, replicates int, onCell func(AggregateCell)) ([]AggregateCell, error) {
+	cells, err := RunGrid(context.Background(), cfg, replicates, onCell)
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// RunGrid is the unified sweep pipeline every entry point flows through:
+// it executes the (ν × c) grid `replicates` times on the job queue,
+// aggregates each cell as its last replicate lands (always folding
+// replicates in index order, so results are bit-identical regardless of
+// worker scheduling), streams the aggregate to onCell (when non-nil, on
+// the caller's goroutine, in completion order), and returns the ν-major
+// aggregate slice. When ctx is cancelled the grid stops promptly — cells
+// already aggregated are returned, unfinished slots stay zero-valued —
+// together with ctx.Err().
+func RunGrid(ctx context.Context, cfg Config, replicates int, onCell func(AggregateCell)) ([]AggregateCell, error) {
 	if replicates < 1 {
 		return nil, fmt.Errorf("sweep: replicates = %d must be ≥ 1", replicates)
 	}
@@ -92,7 +124,7 @@ func RunReplicatedStream(cfg Config, replicates int, onCell func(AggregateCell))
 	done := make([]int, nCells)
 	out := make([]AggregateCell, nCells)
 	var firstErr error
-	err := runJobs(cfg, replicates, func(idx, rep int, cell Cell) {
+	err := runJobs(ctx, cfg, replicates, func(idx, rep int, cell Cell) {
 		if perCell[idx] == nil {
 			perCell[idx] = make([]Cell, replicates)
 		}
@@ -112,7 +144,7 @@ func RunReplicatedStream(cfg Config, replicates int, onCell func(AggregateCell))
 		}
 	})
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	if firstErr != nil {
 		return nil, firstErr

@@ -16,8 +16,10 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"neatbound/internal/consistency"
 	"neatbound/internal/engine"
@@ -102,8 +104,11 @@ func (cfg Config) cellSeed(idx, rep int) uint64 {
 
 // runJobs executes every (cell, replicate) pair of the grid on a worker
 // pool and hands each finished Cell to collect on the caller's
-// goroutine, in completion order.
-func runJobs(cfg Config, replicates int, collect func(idx, rep int, cell Cell)) error {
+// goroutine, in completion order. When ctx is cancelled, no further
+// jobs are dispatched, in-flight cell engines stop within one round
+// (their cells carry Err = ctx.Err()), already-finished cells still
+// reach collect, and runJobs returns ctx.Err().
+func runJobs(ctx context.Context, cfg Config, replicates int, collect func(idx, rep int, cell Cell)) error {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
@@ -131,53 +136,75 @@ func runJobs(cfg Config, replicates int, collect func(idx, rep int, cell Cell)) 
 	if workers > total {
 		workers = total
 	}
+	done := ctx.Done()
 	jobs := make(chan job)
 	results := make(chan result, workers)
 	go func() { // producer
+		defer close(jobs)
 		for rep := 0; rep < replicates; rep++ {
 			idx := 0
 			for _, nu := range cfg.NuValues {
 				for _, c := range cfg.CValues {
-					jobs <- job{idx: idx, rep: rep, nu: nu, c: c}
+					select {
+					case jobs <- job{idx: idx, rep: rep, nu: nu, c: c}:
+					case <-done:
+						return
+					}
 					idx++
 				}
 			}
 		}
-		close(jobs)
 	}()
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			for j := range jobs {
 				results <- result{
 					idx:  j.idx,
 					rep:  j.rep,
-					cell: runCell(cfg, j.nu, j.c, cfg.cellSeed(j.idx, j.rep), sampleEvery),
+					cell: runCell(ctx, cfg, j.nu, j.c, cfg.cellSeed(j.idx, j.rep), sampleEvery),
 				}
 			}
 		}()
 	}
-	for received := 0; received < total; received++ {
-		r := <-results
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	for r := range results {
 		collect(r.idx, r.rep, r.cell)
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Run executes the grid once. Cells whose parameterization is infeasible
 // (p outside (0,1)) are returned with Err set rather than failing the
 // sweep. The returned slice is ordered ν-major, matching the input grids.
 func Run(cfg Config) ([]Cell, error) {
-	cells := make([]Cell, len(cfg.NuValues)*len(cfg.CValues))
-	if err := runJobs(cfg, 1, func(idx, _ int, cell Cell) {
-		cells[idx] = cell
-	}); err != nil {
+	cells, err := RunCells(context.Background(), cfg)
+	if err != nil {
 		return nil, err
 	}
 	return cells, nil
 }
 
+// RunCells is Run with context cancellation: a cancelled grid returns
+// the cells finished so far (unstarted cells are zero-valued) together
+// with ctx.Err().
+func RunCells(ctx context.Context, cfg Config) ([]Cell, error) {
+	cells := make([]Cell, len(cfg.NuValues)*len(cfg.CValues))
+	if err := runJobs(ctx, cfg, 1, func(idx, _ int, cell Cell) {
+		cells[idx] = cell
+	}); err != nil {
+		return cells, err
+	}
+	return cells, nil
+}
+
 // runCell executes one grid point.
-func runCell(cfg Config, nu, c float64, seed uint64, sampleEvery int) Cell {
+func runCell(ctx context.Context, cfg Config, nu, c float64, seed uint64, sampleEvery int) Cell {
 	cell := Cell{Nu: nu, C: c}
 	pr, err := params.FromC(cfg.N, cfg.Delta, nu, c)
 	if err != nil {
@@ -199,14 +226,14 @@ func runCell(cfg Config, nu, c float64, seed uint64, sampleEvery int) Cell {
 		Rounds:    cfg.Rounds,
 		Seed:      seed,
 		Adversary: adv,
-		OnRound:   checker.OnRound,
+		Observer:  checker,
 		Shards:    cfg.Shards,
 	})
 	if err != nil {
 		cell.Err = err
 		return cell
 	}
-	res, err := e.Run()
+	res, err := e.RunContext(ctx)
 	if err != nil {
 		cell.Err = err
 		return cell

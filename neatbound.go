@@ -10,22 +10,33 @@
 //   - The bounds of Theorems 1–3 and the Figure-1 curves: NeatBoundC,
 //     NeatBoundNuMax, PSSConsistencyNuMax, PSSAttackNuMin, Theorem1Holds,
 //     Theorem2Holds, VerifyLemmaChain.
-//   - Protocol simulation in the Δ-delay model: Simulate with a chosen
-//     Adversary (passive, max-delay, private-mining, balance, selfish).
-//   - Experiment harnesses: Figure1, Figure1ASCII, Remark1Text, Sweep.
+//   - Protocol simulation in the Δ-delay model: Run with a chosen
+//     Adversary (passive, max-delay, private-mining, balance, selfish)
+//     and composable observers; see runner.go for the option set.
+//   - Experiment harnesses: Figure1, Figure1ASCII, Remark1Text, RunSweep.
 //
 // A minimal session:
 //
 //	c, _ := neatbound.NeatBoundC(0.25)        // ≈ 1.37 Δ-delays per block
 //	pr, _ := neatbound.ParamsFromC(1000, 8, 0.25, 4.0)
-//	rep, _ := neatbound.Simulate(neatbound.SimulationConfig{
-//		Params: pr, Rounds: 100000, Seed: 1, T: 8,
-//		Adversary: neatbound.NewMaxDelayAdversary(),
-//	})
+//	rep, _ := neatbound.Run(context.Background(), pr,
+//		neatbound.WithRounds(100000),
+//		neatbound.WithSeed(1),
+//		neatbound.WithConsistency(8, 0),
+//		neatbound.WithAdversary(neatbound.NewMaxDelayAdversary()),
+//	)
 //	fmt.Println(rep.Violations, rep.Ledger.Margin())
+//
+// Run is context-aware (cancel mid-flight and get a partial report) and
+// takes any number of Observer hooks that see every round; RunSweep is
+// the same idea for (ν × c) grids, streaming AggregateCells that
+// MarshalCells/MergeCellStreams exchange across processes. The legacy
+// Simulate/Sweep* entry points remain as deprecated shims over this
+// path.
 package neatbound
 
 import (
+	"context"
 	"fmt"
 
 	"neatbound/internal/adversary"
@@ -153,7 +164,8 @@ func NewSwitcherAdversary(period int, strategies ...Adversary) (Adversary, error
 }
 
 // SimulationConfig parameterizes one protocol execution plus its
-// consistency analysis.
+// consistency analysis — the input of the deprecated Simulate shim. New
+// code passes the equivalent functional options to Run.
 type SimulationConfig struct {
 	// Params is the protocol parameterization; it must Validate.
 	Params Params
@@ -192,7 +204,13 @@ type SimulationReport struct {
 	HonestBlocks, AdversaryBlocks int
 	// ChainGrowthRate is blocks of honest-chain height per round.
 	ChainGrowthRate float64
-	// ChainQuality is the honest fraction of the final main chain.
+	// ChainQuality is the honest fraction of the final main chain, scored
+	// on the chain ending at Tree.Best(). Tie-break caveat: Best keeps
+	// the first block to reach the maximal height (the pre-arena Tips
+	// scan took the largest ID), so when the run ends mid-race between
+	// equally tall tips, quality is scored on one of the tied — equally
+	// tall — chains, and which one differs from the historical map-based
+	// scorer.
 	ChainQuality float64
 	// MainChainShare is the fraction of mined blocks on the main chain.
 	MainChainShare float64
@@ -200,69 +218,31 @@ type SimulationReport struct {
 
 // Simulate runs the protocol under cfg and returns the full consistency
 // report.
+//
+// Deprecated: use Run, which takes a context, composable observers and
+// functional options:
+//
+//	Run(ctx, cfg.Params, WithRounds(cfg.Rounds), WithSeed(cfg.Seed),
+//	    WithAdversary(cfg.Adversary), WithConsistency(cfg.T, cfg.SampleEvery),
+//	    WithShards(cfg.Shards))
+//
+// Simulate delegates to exactly that and reproduces its reports
+// bit-identically.
 func Simulate(cfg SimulationConfig) (SimulationReport, error) {
-	sampleEvery := cfg.SampleEvery
-	if sampleEvery <= 0 {
-		sampleEvery = cfg.Rounds / 50
-		if sampleEvery < 1 {
-			sampleEvery = 1
-		}
+	opts := []Option{
+		WithRounds(cfg.Rounds),
+		WithSeed(cfg.Seed),
+		WithConsistency(cfg.T, cfg.SampleEvery),
+		WithShards(cfg.Shards),
 	}
-	checker, err := consistency.NewChecker(cfg.T, sampleEvery)
+	if cfg.Adversary != nil {
+		opts = append(opts, WithAdversary(cfg.Adversary))
+	}
+	rep, err := Run(context.Background(), cfg.Params, opts...)
 	if err != nil {
 		return SimulationReport{}, err
 	}
-	e, err := engine.New(engine.Config{
-		Params:    cfg.Params,
-		Rounds:    cfg.Rounds,
-		Seed:      cfg.Seed,
-		Adversary: cfg.Adversary,
-		OnRound:   checker.OnRound,
-		Shards:    cfg.Shards,
-	})
-	if err != nil {
-		return SimulationReport{}, err
-	}
-	res, err := e.Run()
-	if err != nil {
-		return SimulationReport{}, err
-	}
-	viols, err := checker.Check(res.Tree)
-	if err != nil {
-		return SimulationReport{}, err
-	}
-	maxDepth, err := checker.MaxForkDepth(res.Tree)
-	if err != nil {
-		return SimulationReport{}, err
-	}
-	ledger, err := consistency.Account(res.Records, cfg.Params.Delta)
-	if err != nil {
-		return SimulationReport{}, err
-	}
-	tree := res.Tree
-	// Best() replaces the former full-arena Tips() scan + sort. Both pick
-	// a maximal-height tip, but they break ties differently (Tips took
-	// the largest ID, Best keeps the first block to reach the height), so
-	// ChainQuality can be scored on a different — equally tall — chain
-	// when the run ends mid-race.
-	best := tree.Best()
-	quality, err := metrics.ChainQuality(tree, best, 0)
-	if err != nil {
-		return SimulationReport{}, err
-	}
-	return SimulationReport{
-		Violations:           len(viols),
-		ViolationList:        viols,
-		MaxForkDepth:         maxDepth,
-		Ledger:               ledger,
-		PredictedConvergence: float64(cfg.Rounds) * cfg.Params.ConvergenceOpportunityRate(),
-		PredictedAdversary:   float64(cfg.Rounds) * cfg.Params.AdversaryBlockRate(),
-		HonestBlocks:         res.HonestBlocks,
-		AdversaryBlocks:      res.AdversaryBlocks,
-		ChainGrowthRate:      metrics.ChainGrowthRate(res.Records),
-		ChainQuality:         quality,
-		MainChainShare:       metrics.MainChainShare(tree),
-	}, nil
+	return rep.SimulationReport, nil
 }
 
 // Figure1 computes the three νmax-vs-c curves of the paper's Figure 1 on
@@ -289,7 +269,13 @@ func TableIText(pr Params) (string, error) { return figures.TableIText(pr) }
 // Remark1Text renders the Remark-1 regime table at delay bound delta.
 func Remark1Text(delta float64) (string, error) { return figures.Remark1Text(delta) }
 
-// Sweep runs a (ν × c) grid of simulations in parallel.
+// Sweep runs a (ν × c) grid of simulations in parallel and returns the
+// raw per-cell outcomes.
+//
+// Deprecated: use RunSweep, the one option-driven grid pipeline (it
+// aggregates over replicates; a single replicate's AggregateCell carries
+// the same violation/margin/fork outcome). Sweep remains for callers
+// needing the raw Cell fields and flows through the same job queue.
 func Sweep(cfg SweepConfig) ([]SweepCell, error) { return sweep.Run(cfg) }
 
 // AggregateCell is one replicated-sweep cell with confidence intervals.
@@ -298,6 +284,13 @@ type AggregateCell = sweep.AggregateCell
 // SweepReplicated runs the grid `replicates` times with independent seeds
 // and aggregates per cell (violation probability with Wilson interval,
 // margin/convergence summaries).
+//
+// Deprecated: use RunSweep with WithReplicates:
+//
+//	RunSweep(ctx, SweepGrid{N: cfg.N, Delta: cfg.Delta,
+//	    NuValues: cfg.NuValues, CValues: cfg.CValues},
+//	    WithRounds(cfg.Rounds), WithSeed(cfg.Seed),
+//	    WithConsistency(cfg.T, cfg.SampleEvery), WithReplicates(replicates))
 func SweepReplicated(cfg SweepConfig, replicates int) ([]AggregateCell, error) {
 	return sweep.RunReplicated(cfg, replicates)
 }
@@ -305,6 +298,8 @@ func SweepReplicated(cfg SweepConfig, replicates int) ([]AggregateCell, error) {
 // SweepReplicatedStream is SweepReplicated with progressive delivery:
 // each cell is handed to onCell as soon as its last replicate finishes,
 // while the rest of the grid is still running.
+//
+// Deprecated: use RunSweep with WithCellObserver(onCell).
 func SweepReplicatedStream(cfg SweepConfig, replicates int, onCell func(AggregateCell)) ([]AggregateCell, error) {
 	return sweep.RunReplicatedStream(cfg, replicates, onCell)
 }

@@ -1,0 +1,486 @@
+package neatbound
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"neatbound/internal/consistency"
+	"neatbound/internal/engine"
+	"neatbound/internal/metrics"
+	"neatbound/internal/sweep"
+)
+
+// This file is the v2 execution API: one context-aware Runner
+// (Run) and one option-driven sweep pipeline (RunSweep) that the
+// consistency checker, metric recorders, trace writers, and user hooks
+// all plug into as composable observers. The legacy entry points
+// (Simulate, Sweep, SweepReplicated, SweepReplicatedStream) are thin
+// shims over this path.
+
+// Engine is the protocol execution engine observers receive; it exposes
+// honest views (DistinctTips, PlayerTip, MaxHonestHeight, …) for
+// inspection during a run.
+type Engine = engine.Engine
+
+// RoundRecord is one executed round's summary, streamed to observers.
+type RoundRecord = engine.RoundRecord
+
+// RunResult is the engine-level outcome handed to OnFinish hooks.
+type RunResult = engine.Result
+
+// Observer receives every executed round; implement OnFinish
+// (FinishObserver) to also finalize after the last round. Attach with
+// WithObserver; the consistency checker and metric recorders Run
+// installs are observers on the same stack.
+type Observer = engine.Observer
+
+// FinishObserver is an Observer with an end-of-run hook.
+type FinishObserver = engine.FinishObserver
+
+// ObserverFunc adapts a plain function to Observer.
+type ObserverFunc = engine.ObserverFunc
+
+// Observers composes observers into one (nils dropped, nested stacks
+// flattened).
+func Observers(obs ...Observer) Observer { return engine.Observers(obs...) }
+
+// AutoShards, passed to WithShards (or set by WithAutoShards), picks the
+// engine's delivery-phase parallelism from GOMAXPROCS and the player
+// count — serial below a measured player threshold, where per-round
+// worker spawn overhead dominates. Any shard count is bit-identical, so
+// the choice affects only throughput.
+const AutoShards = engine.AutoShards
+
+// AdversaryOpts carries the strategy-specific knobs NewAdversaryByName
+// accepts.
+type AdversaryOpts struct {
+	// ForkDepth is the private-mining strategy's minimum published fork
+	// depth; 0 means the default of 4. Other strategies ignore it.
+	ForkDepth int
+}
+
+// AdversaryNames lists the strategy names NewAdversaryByName accepts.
+func AdversaryNames() []string {
+	return []string{"passive", "max-delay", "private", "balance", "selfish"}
+}
+
+// NewAdversaryByName builds a strategy from its experiment/CLI name —
+// the one switch shared by cmd/simulate, cmd/sweep, and cmd/report.
+func NewAdversaryByName(name string, opts AdversaryOpts) (Adversary, error) {
+	forkDepth := opts.ForkDepth
+	if forkDepth <= 0 {
+		forkDepth = 4
+	}
+	switch name {
+	case "passive":
+		return NewPassiveAdversary(), nil
+	case "max-delay":
+		return NewMaxDelayAdversary(), nil
+	case "private":
+		return NewPrivateMiningAdversary(forkDepth), nil
+	case "balance":
+		return NewBalanceAdversary(), nil
+	case "selfish":
+		return NewSelfishAdversary(), nil
+	default:
+		return nil, fmt.Errorf("neatbound: unknown adversary %q (%s)",
+			name, strings.Join(AdversaryNames(), "|"))
+	}
+}
+
+// Progress is the periodic update WithProgress delivers.
+type Progress struct {
+	// Round is the last executed round; Rounds the configured total.
+	Round, Rounds int
+}
+
+// runOptions collects what the functional options configure; Run and
+// RunSweep each read the subset that applies to them.
+type runOptions struct {
+	rounds        int
+	seed          uint64
+	adversary     Adversary
+	advFactory    func() Adversary
+	advName       string
+	advNameSet    bool
+	advOpts       AdversaryOpts
+	shards        int
+	tee           int
+	sampleEvery   int
+	observers     []Observer
+	progressEvery int
+	progressFn    func(Progress)
+	traceW        io.Writer
+	nuSchedule    func(round int) float64
+	replicates    int
+	workers       int
+	onCell        func(AggregateCell)
+}
+
+// optionScope marks which entry points accept an option.
+type optionScope uint8
+
+const (
+	scopeRun optionScope = 1 << iota
+	scopeSweep
+)
+
+// Option configures Run and RunSweep. Each constructor documents which
+// entry points accept it; passing an option where it does not apply is
+// an error, not a silent no-op.
+type Option struct {
+	name  string
+	scope optionScope
+	apply func(*runOptions)
+}
+
+// applyOptions folds opts into a fresh runOptions, rejecting options
+// outside scope.
+func applyOptions(scope optionScope, entry string, opts []Option) (*runOptions, error) {
+	o := &runOptions{replicates: 1}
+	for _, opt := range opts {
+		if opt.apply == nil {
+			return nil, fmt.Errorf("neatbound: zero Option value passed to %s", entry)
+		}
+		if opt.scope&scope == 0 {
+			return nil, fmt.Errorf("neatbound: option %s does not apply to %s", opt.name, entry)
+		}
+		opt.apply(o)
+	}
+	return o, nil
+}
+
+// WithRounds sets the execution length (per cell, for sweeps). Required:
+// there is no default.
+func WithRounds(rounds int) Option {
+	return Option{name: "WithRounds", scope: scopeRun | scopeSweep,
+		apply: func(o *runOptions) { o.rounds = rounds }}
+}
+
+// WithSeed sets the base random seed (0 is a valid seed and the
+// default); identical configurations replay identically.
+func WithSeed(seed uint64) Option {
+	return Option{name: "WithSeed", scope: scopeRun | scopeSweep,
+		apply: func(o *runOptions) { o.seed = seed }}
+}
+
+// WithAdversary sets the run's strategy; nil (the default) runs the
+// passive baseline. Run only — sweeps need a fresh strategy per cell,
+// so they take WithAdversaryFactory or WithAdversaryName.
+func WithAdversary(adv Adversary) Option {
+	return Option{name: "WithAdversary", scope: scopeRun,
+		apply: func(o *runOptions) { o.adversary = adv }}
+}
+
+// WithAdversaryFactory sets the per-cell strategy factory for sweeps
+// (strategies are stateful, so each cell builds its own).
+func WithAdversaryFactory(factory func() Adversary) Option {
+	return Option{name: "WithAdversaryFactory", scope: scopeSweep,
+		apply: func(o *runOptions) { o.advFactory = factory }}
+}
+
+// WithAdversaryName selects the strategy by its NewAdversaryByName name;
+// it works for both Run (one instance) and RunSweep (one per cell).
+func WithAdversaryName(name string, opts AdversaryOpts) Option {
+	return Option{name: "WithAdversaryName", scope: scopeRun | scopeSweep,
+		apply: func(o *runOptions) { o.advName, o.advOpts, o.advNameSet = name, opts, true }}
+}
+
+// WithShards sets the engine's delivery-phase parallelism (see
+// engine sharding in SimulationConfig.Shards): 0 or 1 serial, P > 1
+// sharded, AutoShards picks from GOMAXPROCS and the player count. Any
+// value is bit-identical.
+func WithShards(shards int) Option {
+	return Option{name: "WithShards", scope: scopeRun | scopeSweep,
+		apply: func(o *runOptions) { o.shards = shards }}
+}
+
+// WithAutoShards is WithShards(AutoShards).
+func WithAutoShards() Option {
+	return Option{name: "WithAutoShards", scope: scopeRun | scopeSweep,
+		apply: func(o *runOptions) { o.shards = AutoShards }}
+}
+
+// WithConsistency sets Definition 1's chop parameter T and the checker's
+// snapshot interval (sampleEvery ≤ 0 picks rounds/50, min 1). Without
+// this option the check runs at T = 0 with the default interval.
+func WithConsistency(tee, sampleEvery int) Option {
+	return Option{name: "WithConsistency", scope: scopeRun | scopeSweep,
+		apply: func(o *runOptions) { o.tee, o.sampleEvery = tee, sampleEvery }}
+}
+
+// WithObserver attaches observers to the run's stack, after the built-in
+// checker and recorders. Run only.
+func WithObserver(obs ...Observer) Option {
+	return Option{name: "WithObserver", scope: scopeRun,
+		apply: func(o *runOptions) { o.observers = append(o.observers, obs...) }}
+}
+
+// WithProgress calls fn every `every` rounds (and on the final round)
+// with the run's progress. Run only.
+func WithProgress(every int, fn func(Progress)) Option {
+	return Option{name: "WithProgress", scope: scopeRun,
+		apply: func(o *runOptions) { o.progressEvery, o.progressFn = every, fn }}
+}
+
+// WithTraceJSON streams every RoundRecord as one JSON line to w — the
+// round-trace interchange for external analysis. Run only.
+func WithTraceJSON(w io.Writer) Option {
+	return Option{name: "WithTraceJSON", scope: scopeRun,
+		apply: func(o *runOptions) { o.traceW = w }}
+}
+
+// WithNuSchedule makes corruption adaptive: each round the adversary
+// controls round(ν(t)·N) players (see the engine's adaptive-corruption
+// model). Run only.
+func WithNuSchedule(fn func(round int) float64) Option {
+	return Option{name: "WithNuSchedule", scope: scopeRun,
+		apply: func(o *runOptions) { o.nuSchedule = fn }}
+}
+
+// WithReplicates runs every sweep cell r times with independent seeds
+// and aggregates (default 1). RunSweep only.
+func WithReplicates(r int) Option {
+	return Option{name: "WithReplicates", scope: scopeSweep,
+		apply: func(o *runOptions) { o.replicates = r }}
+}
+
+// WithWorkers bounds the sweep job-queue parallelism (0, the default,
+// means GOMAXPROCS). RunSweep only.
+func WithWorkers(workers int) Option {
+	return Option{name: "WithWorkers", scope: scopeSweep,
+		apply: func(o *runOptions) { o.workers = workers }}
+}
+
+// WithCellObserver streams every finished AggregateCell to fn as its
+// last replicate lands, while the rest of the grid is still running (on
+// the caller's goroutine, in completion order). RunSweep only.
+func WithCellObserver(fn func(AggregateCell)) Option {
+	return Option{name: "WithCellObserver", scope: scopeSweep,
+		apply: func(o *runOptions) { o.onCell = fn }}
+}
+
+// RunReport is Run's outcome: the full SimulationReport plus the
+// partial-run flags a cancellable execution needs.
+type RunReport struct {
+	SimulationReport
+	// Partial is set when ctx was cancelled mid-run; every report field
+	// then covers only the rounds actually executed.
+	Partial bool
+	// RoundsExecuted counts executed rounds (the configured total unless
+	// Partial).
+	RoundsExecuted int
+}
+
+// Run executes the protocol under pr with the given options and returns
+// the full consistency report — the v2 replacement for Simulate. The
+// consistency checker, the Lemma-1 ledger recorder, any trace writer or
+// progress hook, and the observers of WithObserver all run side by side
+// in one pass over the round stream.
+//
+// Cancelling ctx stops the run before the next round: Run then returns
+// the report over the rounds executed so far, with Partial set, together
+// with ctx.Err().
+func Run(ctx context.Context, pr Params, opts ...Option) (*RunReport, error) {
+	o, err := applyOptions(scopeRun, "Run", opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := pr.Validate(); err != nil {
+		return nil, fmt.Errorf("neatbound: %w", err)
+	}
+	adv := o.adversary
+	if o.advNameSet {
+		if adv != nil {
+			return nil, fmt.Errorf("neatbound: WithAdversary and WithAdversaryName are mutually exclusive")
+		}
+		if adv, err = NewAdversaryByName(o.advName, o.advOpts); err != nil {
+			return nil, err
+		}
+	}
+	sampleEvery := o.sampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = o.rounds / 50
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+	}
+	checker, err := consistency.NewChecker(o.tee, sampleEvery)
+	if err != nil {
+		return nil, err
+	}
+	ledger, err := consistency.NewLedgerRecorder(pr.Delta)
+	if err != nil {
+		return nil, err
+	}
+	stack := []engine.Observer{checker, ledger}
+	if o.traceW != nil {
+		stack = append(stack, engine.NewTraceWriter(o.traceW))
+	}
+	if o.progressFn != nil {
+		every := o.progressEvery
+		if every < 1 {
+			every = 1
+		}
+		total := o.rounds
+		fn := o.progressFn
+		stack = append(stack, ObserverFunc(func(_ *Engine, rec RoundRecord) {
+			if rec.Round%every == 0 || rec.Round == total {
+				fn(Progress{Round: rec.Round, Rounds: total})
+			}
+		}))
+	}
+	stack = append(stack, o.observers...)
+	e, err := engine.New(engine.Config{
+		Params:     pr,
+		Rounds:     o.rounds,
+		Seed:       o.seed,
+		Adversary:  adv,
+		Observer:   engine.Observers(stack...),
+		NuSchedule: o.nuSchedule,
+		Shards:     o.shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := e.RunContext(ctx)
+	if res == nil {
+		return nil, runErr
+	}
+	rep, err := assembleReport(pr, res, checker, ledger)
+	if err != nil {
+		return nil, err
+	}
+	return rep, runErr
+}
+
+// assembleReport builds the RunReport from an executed (possibly
+// partial) result — field for field what the legacy Simulate computed,
+// so Run reproduces its reports bit-identically. Every field, the
+// Eq. 26/27 predictions included, covers the rounds actually executed
+// (identical to the configured total on a complete run).
+func assembleReport(pr Params, res *engine.Result, checker *consistency.Checker, ledger *consistency.LedgerRecorder) (*RunReport, error) {
+	viols, err := checker.Check(res.Tree)
+	if err != nil {
+		return nil, err
+	}
+	maxDepth, err := checker.MaxForkDepth(res.Tree)
+	if err != nil {
+		return nil, err
+	}
+	tree := res.Tree
+	quality, err := metrics.ChainQuality(tree, tree.Best(), 0)
+	if err != nil {
+		return nil, err
+	}
+	rounds := len(res.Records)
+	return &RunReport{
+		SimulationReport: SimulationReport{
+			Violations:           len(viols),
+			ViolationList:        viols,
+			MaxForkDepth:         maxDepth,
+			Ledger:               ledger.Accounting(),
+			PredictedConvergence: float64(rounds) * pr.ConvergenceOpportunityRate(),
+			PredictedAdversary:   float64(rounds) * pr.AdversaryBlockRate(),
+			HonestBlocks:         res.HonestBlocks,
+			AdversaryBlocks:      res.AdversaryBlocks,
+			ChainGrowthRate:      metrics.ChainGrowthRate(res.Records),
+			ChainQuality:         quality,
+			MainChainShare:       metrics.MainChainShare(tree),
+		},
+		Partial:        res.Partial,
+		RoundsExecuted: len(res.Records),
+	}, nil
+}
+
+// SweepGrid spans the (ν × c) parameter grid of one sweep; every
+// (ν, c) pair is a cell executed at the shared n and Δ.
+type SweepGrid struct {
+	// N is the miner count used in every cell.
+	N int
+	// Delta is the network delay bound used in every cell.
+	Delta int
+	// NuValues and CValues span the grid.
+	NuValues, CValues []float64
+}
+
+// RunSweep executes a (ν × c) grid on the job-queue pipeline and
+// aggregates each cell over its replicates — the one option-driven
+// entry point replacing Sweep, SweepReplicated and
+// SweepReplicatedStream. Attach WithCellObserver to stream finished
+// cells while the grid is still running; the streamed lines marshal via
+// MarshalCells into the cross-process interchange that MergeCellStreams
+// reassembles.
+//
+// Cancelling ctx stops the grid promptly: cells already aggregated are
+// returned (unfinished slots stay zero-valued) together with ctx.Err().
+func RunSweep(ctx context.Context, grid SweepGrid, opts ...Option) ([]AggregateCell, error) {
+	o, err := applyOptions(scopeSweep, "RunSweep", opts)
+	if err != nil {
+		return nil, err
+	}
+	factory := o.advFactory
+	if o.advNameSet {
+		if factory != nil {
+			return nil, fmt.Errorf("neatbound: WithAdversaryFactory and WithAdversaryName are mutually exclusive")
+		}
+		// Validate the name once up front; the per-cell factory can then
+		// not fail.
+		if _, err := NewAdversaryByName(o.advName, o.advOpts); err != nil {
+			return nil, err
+		}
+		name, advOpts := o.advName, o.advOpts
+		factory = func() Adversary {
+			adv, err := NewAdversaryByName(name, advOpts)
+			if err != nil {
+				panic(err) // unreachable: validated above
+			}
+			return adv
+		}
+	}
+	return sweep.RunGrid(ctx, sweep.Config{
+		N:            grid.N,
+		Delta:        grid.Delta,
+		NuValues:     grid.NuValues,
+		CValues:      grid.CValues,
+		Rounds:       o.rounds,
+		Seed:         o.seed,
+		T:            o.tee,
+		SampleEvery:  o.sampleEvery,
+		NewAdversary: factory,
+		Workers:      o.workers,
+		Shards:       o.shards,
+	}, o.replicates, o.onCell)
+}
+
+// MarshalCells writes one JSON line per cell to w — the AggregateCell
+// interchange cmd/sweep -json emits and cross-process sweep sharding
+// exchanges.
+func MarshalCells(w io.Writer, cells []AggregateCell) error {
+	return sweep.MarshalCells(w, cells)
+}
+
+// MarshalCell encodes one cell onto enc in the interchange form — the
+// streaming building block cmd/sweep -json uses per finished cell.
+func MarshalCell(enc *json.Encoder, cell AggregateCell) error {
+	return sweep.MarshalCell(enc, cell)
+}
+
+// UnmarshalCells reads a JSON-lines AggregateCell stream back (the
+// MarshalCells format).
+func UnmarshalCells(r io.Reader) ([]AggregateCell, error) {
+	return sweep.UnmarshalCells(r)
+}
+
+// MergeCellStreams folds several JSON-lines AggregateCell streams — the
+// outputs of sweep shards run on different machines, each covering a
+// partition of the grid — into one slice sorted ascending by (ν, c).
+// Duplicate (ν, c) cells merge exactly: replicate and violation counts
+// add, the Wilson interval is recomputed, and the summaries combine via
+// the parallel Welford update.
+func MergeCellStreams(streams ...io.Reader) ([]AggregateCell, error) {
+	return sweep.MergeCellStreams(streams...)
+}
