@@ -2,11 +2,16 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test test-race test-parallel bench
+# Label for `make bench`'s BENCH_engine.json entry; same label replaces.
+BENCH_LABEL ?= current
 
-## verify: the full tier-1 gate — formatting, vet, build, and the race
-## test suite (~6 min; internal/dist's statistical tests dominate).
-verify: fmt vet build test-race
+.PHONY: verify fmt vet build test test-race test-parallel test-pool bench
+
+## verify: the full tier-1 gate — formatting, vet (all packages,
+## internal/pool included), build, the quick pooled-parity check, and
+## the race test suite (~6 min; internal/dist's statistical tests
+## dominate).
+verify: fmt vet build test-pool test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -27,9 +32,21 @@ test-race:
 	$(GO) test -race ./...
 
 ## test-parallel: quick race pass over just the worker-parallel code
-## (engine delivery shards, network fan-out, sweep job queue, façade).
+## (worker pool, engine delivery shards, network fan-out, sweep job
+## queue, façade).
 test-parallel:
-	$(GO) test -race ./internal/engine/ ./internal/network/ ./internal/sweep/ .
+	$(GO) test -race ./internal/pool/ ./internal/engine/ ./internal/network/ ./internal/sweep/ .
 
+## test-pool: seconds-long short-mode race pass over the worker pool and
+## the pooled delivery/checker parity tests, so the tier-1 gate
+## exercises the persistent-pool path on every run.
+test-pool:
+	$(GO) test -race -short ./internal/pool/
+	$(GO) test -race -short -run 'Pool|Pooled' ./internal/engine/ ./internal/consistency/ ./internal/sweep/ .
+
+## bench: run the façade benchmarks, then append (or replace) the
+## BENCH_engine.json entry labeled $(BENCH_LABEL) — the core count is
+## stamped automatically, so entries are comparable across machines.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_engine.json

@@ -29,8 +29,13 @@ type entry struct {
 	Date  string `json:"date"`
 	// Configuration of the measured run. Shards is the engine's
 	// delivery-phase parallelism (0/1 = serial); Cores records the
-	// GOMAXPROCS the measurement ran under, without which a
-	// serial-vs-sharded comparison is meaningless.
+	// machine's CPU count (runtime.NumCPU()) and Procs the GOMAXPROCS
+	// the run could actually use (what sizes the worker pool — it can
+	// be lower than Cores under an explicit override or a container CPU
+	// quota), both stamped automatically at measurement time — PR-2
+	// hand-labeled the cores field and the entries from the 1-core
+	// build box were flagged as misleading. Without an honest
+	// parallelism record a serial-vs-sharded comparison is meaningless.
 	N           int     `json:"n"`
 	P           float64 `json:"p"`
 	Delta       int     `json:"delta"`
@@ -39,6 +44,7 @@ type entry struct {
 	Iterations  int     `json:"iterations"`
 	Shards      int     `json:"shards"`
 	Cores       int     `json:"cores"`
+	Procs       int     `json:"gomaxprocs,omitempty"`
 	// Results, normalized per simulated round.
 	RoundsPerSec   float64 `json:"rounds_per_sec"`
 	NsPerRound     float64 `json:"ns_per_round"`
@@ -138,7 +144,7 @@ func measure(pr params.Params, rounds, iters, shards int) (entry, error) {
 	return entry{
 		N: pr.N, P: pr.P, Delta: pr.Delta, Nu: pr.Nu,
 		RoundsPerOp: rounds, Iterations: iters,
-		Shards: shards, Cores: runtime.GOMAXPROCS(0),
+		Shards: shards, Cores: runtime.NumCPU(), Procs: runtime.GOMAXPROCS(0),
 		RoundsPerSec:   total / elapsed.Seconds(),
 		NsPerRound:     float64(elapsed.Nanoseconds()) / total,
 		AllocsPerRound: float64(m1.Mallocs-m0.Mallocs) / total,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"runtime"
 	"testing"
 
 	"neatbound/internal/params"
@@ -15,6 +16,12 @@ func TestMeasureProducesSaneEntry(t *testing.T) {
 	}
 	if e.RoundsPerSec <= 0 || e.NsPerRound <= 0 {
 		t.Errorf("non-positive timings: %+v", e)
+	}
+	if e.Cores != runtime.NumCPU() {
+		t.Errorf("cores = %d, want the machine's %d — the field must be stamped, not hand-labeled", e.Cores, runtime.NumCPU())
+	}
+	if e.Procs != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d, want %d — the usable-parallelism bound must be stamped too", e.Procs, runtime.GOMAXPROCS(0))
 	}
 	if e.AllocsPerRound < 0 || e.BytesPerRound < 0 {
 		t.Errorf("negative alloc metrics: %+v", e)

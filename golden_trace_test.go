@@ -9,6 +9,7 @@ import (
 	"neatbound/internal/blockchain"
 	"neatbound/internal/engine"
 	"neatbound/internal/params"
+	"neatbound/internal/pool"
 )
 
 // These golden hashes pin the engine's observable behavior — the exact
@@ -206,6 +207,32 @@ func TestGoldenTracesSharded(t *testing.T) {
 				want := goldenTraces[name]
 				if got != want {
 					t.Errorf("sharded trace hash = %#x, want %#x — P=%d diverged from the serial engine", got, want, shards)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenTracesPooledShared pins the persistent-pool runtime against
+// the golden hashes: all nine golden configurations run sharded on ONE
+// injected worker pool, consecutively — the delivery barrier is reused
+// across engines (the sweep's usage pattern) — and every trace must
+// still reproduce the serial hashes bit for bit. The pool is
+// deliberately smaller than the shard count on P=7, so tasks queue on
+// the claim counter rather than mapping 1:1 onto workers.
+func TestGoldenTracesPooledShared(t *testing.T) {
+	shared := pool.New(3)
+	defer shared.Close()
+	for _, shards := range []int{2, 7} {
+		for name, gc := range goldenCases(t) {
+			gc := gc
+			gc.cfg.Shards = shards
+			gc.cfg.Pool = shared
+			t.Run(fmt.Sprintf("%s/P=%d", name, shards), func(t *testing.T) {
+				got := traceHash(t, gc)
+				want := goldenTraces[name]
+				if got != want {
+					t.Errorf("pooled trace hash = %#x, want %#x — P=%d on the shared pool diverged from the serial engine", got, want, shards)
 				}
 			})
 		}

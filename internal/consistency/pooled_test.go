@@ -1,0 +1,205 @@
+package consistency
+
+import (
+	"testing"
+
+	"neatbound/internal/adversary"
+	"neatbound/internal/blockchain"
+	"neatbound/internal/engine"
+	"neatbound/internal/params"
+	"neatbound/internal/pool"
+)
+
+// attackedChecker runs a seeded, violation-rich execution (private
+// mining in the attack regime) with a densely sampling checker attached
+// and returns the checker plus the final tree.
+func attackedChecker(t *testing.T, seed uint64, rounds, every int) (*Checker, *blockchain.Tree) {
+	t.Helper()
+	ck, err := NewChecker(3, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.New(engine.Config{
+		Params:    params.Params{N: 40, P: 0.005, Delta: 8, Nu: 0.45},
+		Rounds:    rounds,
+		Seed:      seed,
+		Adversary: &adversary.PrivateMining{MinForkDepth: 3},
+		Observer:  ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck, res.Tree
+}
+
+// TestPooledViolationsMatchSerial pins the pooled ViolationsAtChop
+// contract: for seeded attack runs, every chop value, and several pool
+// sizes, the pooled scan returns bit-identical violations — same
+// entries, same order — as the serial scan.
+func TestPooledViolationsMatchSerial(t *testing.T) {
+	for _, seed := range []uint64{3, 17} {
+		ck, tree := attackedChecker(t, seed, 2000, 8)
+		for _, workers := range []int{1, 3, 7} {
+			p := pool.New(workers)
+			for _, chop := range []int{0, 2, 5} {
+				want, err := ck.violationsAtChopSerial(tree, chop)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ck.violationsAtChopPooled(tree, chop, p, ck.pairWork())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("seed=%d workers=%d chop=%d: pooled %d violations, serial %d",
+						seed, workers, chop, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed=%d workers=%d chop=%d: violation %d diverged\npooled %+v\nserial %+v",
+							seed, workers, chop, i, got[i], want[i])
+					}
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestPooledViolationsViaUsePool drives the public path: a checker with
+// an attached pool must route through the pooled scan (the run below
+// clears parallelCheckMinWork) and still reproduce the serial result.
+func TestPooledViolationsViaUsePool(t *testing.T) {
+	ck, tree := attackedChecker(t, 3, 2000, 8)
+	if work := ck.pairWork(); work < parallelCheckMinWork {
+		t.Fatalf("fixture too small to engage the pooled path: work %d < %d", work, parallelCheckMinWork)
+	}
+	want, err := ck.ViolationsAtChop(tree, ck.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool.New(4)
+	defer p.Close()
+	ck.UsePool(p)
+	got, err := ck.ViolationsAtChop(tree, ck.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pooled %d violations, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("violation %d diverged: pooled %+v serial %+v", i, got[i], want[i])
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture produced no violations — the comparison is vacuous")
+	}
+}
+
+// TestPooledMaxForkDepthMatchesSerial pins that the pooled depth scan —
+// chunk-local pruning bounds, max-merged — returns exactly the serial
+// scan's depth, through the public MaxForkDepth on both paths.
+func TestPooledMaxForkDepthMatchesSerial(t *testing.T) {
+	for _, seed := range []uint64{3, 17} {
+		ck, tree := attackedChecker(t, seed, 2000, 8)
+		want, err := ck.maxForkDepthSerial(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == 0 {
+			t.Fatal("fixture produced no forks — the comparison is vacuous")
+		}
+		for _, workers := range []int{1, 3, 7} {
+			p := pool.New(workers)
+			got, err := ck.maxForkDepthPooled(tree, p, ck.pairWork())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed=%d workers=%d: pooled depth %d, serial %d", seed, workers, got, want)
+			}
+			p.Close()
+		}
+		ck.UsePool(pool.Default())
+		got, err := ck.MaxForkDepth(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed=%d: MaxForkDepth via UsePool %d, serial %d", seed, got, want)
+		}
+	}
+}
+
+// TestPooledViolationsErrorMatchesSerial pins the error contract: a
+// snapshot referencing an unknown block must surface the same first
+// error from both scans, with no partial violation list.
+func TestPooledViolationsErrorMatchesSerial(t *testing.T) {
+	ck, tree := attackedChecker(t, 3, 1000, 8)
+	// Corrupt a mid-sequence snapshot with a tip the tree never saw.
+	ck.snaps[len(ck.snaps)/2].Tips = []blockchain.BlockID{987654}
+	serialViols, serialErr := ck.violationsAtChopSerial(tree, 0)
+	if serialErr == nil {
+		t.Fatal("serial scan accepted an unknown tip")
+	}
+	p := pool.New(3)
+	defer p.Close()
+	pooledViols, pooledErr := ck.violationsAtChopPooled(tree, 0, p, ck.pairWork())
+	if pooledErr == nil {
+		t.Fatal("pooled scan accepted an unknown tip")
+	}
+	if pooledErr.Error() != serialErr.Error() {
+		t.Fatalf("errors diverged:\npooled %v\nserial %v", pooledErr, serialErr)
+	}
+	if serialViols != nil || pooledViols != nil {
+		t.Fatalf("violations returned alongside error: serial %d, pooled %d", len(serialViols), len(pooledViols))
+	}
+}
+
+// TestCheckerArenaSnapshotsStable pins the arena copy: snapshots taken
+// early must keep their tips intact while later samples grow (and
+// recycle) the arena, and every snapshot must match a fresh
+// DistinctTips-style read taken at sampling time.
+func TestCheckerArenaSnapshotsStable(t *testing.T) {
+	ck, err := NewChecker(3, 1) // sample every round: maximal arena churn
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live [][]blockchain.BlockID // DistinctTips copies taken per round
+	probe := engine.ObserverFunc(func(e *engine.Engine, _ engine.RoundRecord) {
+		live = append(live, append([]blockchain.BlockID(nil), e.DistinctTips()...))
+	})
+	e, err := engine.New(engine.Config{
+		Params:    params.Params{N: 40, P: 0.005, Delta: 8, Nu: 0.45},
+		Rounds:    800,
+		Seed:      9,
+		Adversary: &adversary.PrivateMining{MinForkDepth: 3},
+		Observer:  engine.Observers(ck, probe),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.snaps) != len(live) {
+		t.Fatalf("%d snapshots, %d probe reads", len(ck.snaps), len(live))
+	}
+	for i, s := range ck.snaps {
+		if len(s.Tips) != len(live[i]) {
+			t.Fatalf("snapshot %d (round %d): %d tips, probe saw %d", i, s.Round, len(s.Tips), len(live[i]))
+		}
+		for j := range s.Tips {
+			if s.Tips[j] != live[i][j] {
+				t.Fatalf("snapshot %d (round %d) tip %d: arena %d, probe %d — a later sample clobbered the arena",
+					i, s.Round, j, s.Tips[j], live[i][j])
+			}
+		}
+	}
+}

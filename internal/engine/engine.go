@@ -30,6 +30,7 @@ import (
 	"neatbound/internal/mining"
 	"neatbound/internal/network"
 	"neatbound/internal/params"
+	"neatbound/internal/pool"
 	"neatbound/internal/rng"
 )
 
@@ -53,14 +54,15 @@ type Adversary interface {
 //
 // # Sharded round execution
 //
-// When Shards = P > 1, the round loop's delivery/adoption phase runs on
-// P workers, each owning a contiguous slice of the player range.
-// Adoption under the longest-chain rule is a pure per-recipient height
-// comparison, so the phase is embarrassingly parallel; the per-view
-// statistics the engine reports (height histogram brackets, tip
-// refcounts, per-half branch maxima) are kept in per-shard accumulators
-// that the workers update privately and the engine merges in O(P) after
-// the phase barrier. The mining and adversary phases stay serial.
+// When Shards = P > 1, the round loop's delivery/adoption phase runs as
+// P tasks on a persistent worker pool (internal/pool), each task owning
+// a contiguous slice of the player range. Adoption under the
+// longest-chain rule is a pure per-recipient height comparison, so the
+// phase is embarrassingly parallel; the per-view statistics the engine
+// reports (height histogram brackets, tip refcounts, per-half branch
+// maxima) are kept in per-shard accumulators that the tasks update
+// privately and the engine merges in O(P) after the phase barrier. The
+// mining and adversary phases stay serial.
 //
 // # Determinism contract
 //
@@ -71,7 +73,7 @@ type Adversary interface {
 //   - all randomness is drawn in the serial phases, in a fixed order,
 //     from streams split once from Seed — the parallel delivery phase
 //     draws no randomness at all;
-//   - each delivery worker touches only its own players' views, its own
+//   - each delivery task touches only its own players' views, its own
 //     shard accumulator, and its own per-recipient network inboxes, and
 //     every per-recipient message drain preserves DeliverTo's
 //     deterministic (sent round, block ID, sender) order;
@@ -114,24 +116,37 @@ type Config struct {
 	// GOMAXPROCS and the player count. Any P produces bit-identical
 	// executions.
 	Shards int
+	// Pool supplies the persistent worker pool the sharded delivery
+	// phase and the network's parallel broadcast fan-out run on — inject
+	// one to share workers across engines (the sweep does, across its
+	// cells). Nil engages the process-wide shared pool (pool.Default())
+	// the first time a parallel phase runs. The pool choice never
+	// affects results, only scheduling.
+	Pool *pool.Pool
 }
 
 // AutoShards, assigned to Config.Shards, selects the delivery-phase
 // parallelism automatically: serial below autoShardMinPlayers (where the
-// per-round worker spawn cost dominates — see the BENCH_engine.json
-// large-n notes), otherwise GOMAXPROCS capped so every shard keeps at
-// least autoShardPlayersPerWorker players. Because any shard count is
+// per-round barrier cost dominates — see the BENCH_engine.json large-n
+// notes), otherwise GOMAXPROCS capped so every shard keeps at least
+// autoShardPlayersPerWorker players. Because any shard count is
 // bit-identical, the pick affects only throughput, never results.
 const AutoShards = -1
 
 const (
 	// autoShardMinPlayers is the player count below which AutoShards
-	// stays serial: per-round goroutine spawn + barrier overhead beats
-	// the parallel speedup for small rounds.
-	autoShardMinPlayers = 8192
+	// stays serial. Retuned for the persistent worker pool: the fixed
+	// per-round cost fell from P goroutine spawns + a WaitGroup cycle
+	// (~1.5 µs and 9 allocs at P=4) to one pooled barrier (~1.2 µs on a
+	// 1-core box where every wakeup is a context switch, and
+	// allocation-free; wakeups overlap on real multi-core hardware), so
+	// sharding now breaks even at roughly half the PR-2 player count.
+	// Like the PR-2 value, this is a 1-core estimate — re-measure on a
+	// multi-core box.
+	autoShardMinPlayers = 4096
 	// autoShardPlayersPerWorker keeps auto-picked shards coarse enough
 	// to amortize the round barrier.
-	autoShardPlayersPerWorker = 2048
+	autoShardPlayersPerWorker = 1024
 )
 
 // autoShards resolves AutoShards for a player count.
@@ -237,6 +252,15 @@ type Engine struct {
 	seenStamp uint64
 	// cursorsBuf is the reusable scratch handed to network.EndRound.
 	cursorsBuf []network.ShardCursor
+	// pool runs the sharded delivery phase on persistent workers;
+	// acquired once (Config.Pool or the process-wide default) when the
+	// first parallel phase runs. deliverFn is the persistent task
+	// closure handed to pool.Run — it reads the current round from
+	// deliverRound, so the steady state allocates no closures and spawns
+	// no goroutines.
+	pool         *pool.Pool
+	deliverFn    func(task int)
+	deliverRound int
 	// winnersBuf is the reusable scratch for per-round mining winners.
 	winnersBuf []int
 	// ctx is the adversary's handle, allocated once per engine.
@@ -322,8 +346,29 @@ func New(cfg Config) (*Engine, error) {
 	for i := 0; i < honest; i++ {
 		e.shardOf(i).add(i, blockchain.GenesisID, 0, e.halfLo)
 	}
+	e.deliverFn = func(k int) {
+		s := &e.shards[k]
+		s.err = e.deliverRange(s, e.deliverRound)
+	}
+	if cfg.Pool != nil {
+		e.pool = cfg.Pool
+		e.net.UsePool(cfg.Pool)
+	}
 	e.ctx = Context{e: e}
 	return e, nil
+}
+
+// acquirePool binds the engine to its worker pool — the injected
+// Config.Pool or, absent one, the process-wide shared pool — the first
+// time a parallel phase needs it. The pool is reused for every
+// subsequent round's delivery phase and shared with the network's
+// broadcast fan-out.
+func (e *Engine) acquirePool() *pool.Pool {
+	if e.pool == nil {
+		e.pool = pool.Default()
+		e.net.UsePool(e.pool)
+	}
+	return e.pool
 }
 
 // setTip moves player i's view to tip id at height h, keeping the
@@ -412,8 +457,18 @@ func (e *Engine) mergeTips(out *[]blockchain.BlockID) int {
 // then ID. It enumerates the per-shard tip lists instead of walking all
 // honest views, so the cost scales with the number of tips.
 func (e *Engine) DistinctTips() []blockchain.BlockID {
-	var out []blockchain.BlockID
-	e.mergeTips(&out)
+	return e.AppendDistinctTips(nil)
+}
+
+// AppendDistinctTips appends the distinct honest chain tips — sorted by
+// height then ID, exactly as DistinctTips reports them — to buf and
+// returns the extended slice. Callers that sample tips every round (the
+// consistency checker) pass a reused buffer so the steady state
+// allocates nothing.
+func (e *Engine) AppendDistinctTips(buf []blockchain.BlockID) []blockchain.BlockID {
+	base := len(buf)
+	e.mergeTips(&buf)
+	out := buf[base:]
 	// Insertion sort by (height, ID); tip sets are tiny.
 	height := func(id blockchain.BlockID) int {
 		h, _ := e.tree.Height(id)
@@ -429,7 +484,7 @@ func (e *Engine) DistinctTips() []blockchain.BlockID {
 			}
 		}
 	}
-	return out
+	return buf
 }
 
 // DistinctTipCount returns the number of distinct honest chain tips from
@@ -514,6 +569,11 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{
 		Tree:    e.tree,
 		Records: make([]RoundRecord, 0, e.cfg.Rounds),
+	}
+	if len(e.shards) > 1 {
+		// Acquire the worker pool once; every round's delivery phase
+		// (and the network fan-out) reuses it without further setup.
+		e.acquirePool()
 	}
 	done := ctx.Done()
 	for r := 1; r <= e.cfg.Rounds; r++ {

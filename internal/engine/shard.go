@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 
 	"neatbound/internal/blockchain"
 	"neatbound/internal/network"
@@ -178,11 +177,16 @@ func (e *Engine) shardOf(i int) *shardStat {
 }
 
 // deliverShards runs the round's delivery phase: serial for one shard,
-// one goroutine per shard otherwise. The shards' recipient ranges
-// partition [0, players), so the workers touch disjoint view and network
-// state; the only shared reads are the block tree (frozen during
-// delivery) and the network's staged spill (disjoint per-recipient
-// slots).
+// one pool task per shard otherwise (persistent workers — zero
+// goroutine spawns per round in steady state). The shards' recipient
+// ranges partition [0, players), so the tasks touch disjoint view and
+// network state; the only shared reads are the block tree (frozen
+// during delivery) and the network's staged spill (disjoint
+// per-recipient slots). Shard errors are examined after the barrier in
+// ascending shard index order, so the error returned is deterministic —
+// the failing shard with the lowest index, i.e. the error a serial scan
+// of the player range would have hit first — no matter how the pool
+// scheduled the tasks.
 func (e *Engine) deliverShards(round int) error {
 	e.net.BeginRound(round)
 	if len(e.shards) == 1 {
@@ -190,17 +194,11 @@ func (e *Engine) deliverShards(round int) error {
 		s.cursor = e.net.Cursor(round)
 		s.err = e.deliverRange(s, round)
 	} else {
-		var wg sync.WaitGroup
 		for k := range e.shards {
-			s := &e.shards[k]
-			s.cursor = e.net.Cursor(round)
-			wg.Add(1)
-			go func(s *shardStat) {
-				defer wg.Done()
-				s.err = e.deliverRange(s, round)
-			}(s)
+			e.shards[k].cursor = e.net.Cursor(round)
 		}
-		wg.Wait()
+		e.deliverRound = round
+		e.acquirePool().Run(len(e.shards), e.deliverFn)
 	}
 	e.cursorsBuf = e.cursorsBuf[:0]
 	for k := range e.shards {

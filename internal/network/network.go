@@ -24,10 +24,9 @@ package network
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"neatbound/internal/blockchain"
+	"neatbound/internal/pool"
 )
 
 // Message is a block announcement in transit.
@@ -80,8 +79,9 @@ type DelayPolicy interface {
 }
 
 // ParallelSafe marks a DelayPolicy whose DeliveryRound is safe to call
-// concurrently. Broadcast fans out across goroutines for such policies
-// when the recipient set is large (the ablation of BenchmarkNetworkFanout).
+// concurrently. Broadcast fans out across the persistent worker pool for
+// such policies when the recipient set is large (the ablation of
+// BenchmarkNetworkFanout).
 type ParallelSafe interface {
 	ParallelSafe()
 }
@@ -170,11 +170,21 @@ type Network struct {
 	staged       [][]Message
 	stagedActive bool
 	// bcastClaim, bcastCounts and bcastSpill are reusable scratch for
-	// broadcastParallel (slot claims, per-worker pending tallies,
-	// per-worker overflow fallbacks).
+	// broadcastParallel (slot claims, per-task pending tallies,
+	// per-task overflow fallbacks).
 	bcastClaim  []bool
 	bcastCounts []int
 	bcastSpill  [][]spillRef
+	// pool runs the parallel fan-out's tasks on persistent workers;
+	// lazily the process-wide shared pool unless UsePool injected one.
+	// bcastFn is the persistent task closure handed to pool.Run — it
+	// reads the in-flight broadcast from the bcastMsg/bcastPolicy/
+	// bcastPer fields, so the steady state allocates no closures.
+	pool        *pool.Pool
+	bcastFn     func(task int)
+	bcastMsg    Message
+	bcastPolicy DelayPolicy
+	bcastPer    int
 	// pending counts undelivered messages, for invariant checks.
 	pending int
 	// stats
@@ -199,8 +209,14 @@ func New(players, delta int) (*Network, error) {
 	for i := range n.ring {
 		n.ring[i].round = -1
 	}
+	n.bcastFn = n.broadcastTask
 	return n, nil
 }
+
+// UsePool sets the persistent worker pool the parallel broadcast fan-out
+// runs on. Without it, the first parallel broadcast adopts the
+// process-wide shared pool (pool.Default()).
+func (n *Network) UsePool(p *pool.Pool) { n.pool = p }
 
 // Players returns the number of connected nodes.
 func (n *Network) Players() int { return n.players }
@@ -292,12 +308,13 @@ type spillRef struct {
 }
 
 // broadcastParallel fans one honest broadcast's per-recipient enqueue
-// across workers. The result is bit-identical to the sequential loop:
+// across the worker pool's persistent workers (zero goroutine spawns in
+// steady state). The result is bit-identical to the sequential loop:
 // every legal delivery round's ring slot is claimed serially up front,
-// workers then append into disjoint per-recipient slot buffers (each
-// recipient is owned by exactly one worker, and a broadcast adds at most
+// tasks then append into disjoint per-recipient slot buffers (each
+// recipient is owned by exactly one task, and a broadcast adds at most
 // one message per recipient, so per-recipient message order is
-// untouched), and the pending counters are merged from per-worker tallies
+// untouched), and the pending counters are merged from per-task tallies
 // afterwards. Recipients whose slot could not be claimed — the target
 // ring position still holds an undrained far-future round — fall back to
 // the serial enqueue path and its overflow map.
@@ -326,60 +343,31 @@ func (n *Network) broadcastParallel(m Message, policy DelayPolicy) {
 			claimed[d] = false
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 8 {
-		workers = 8
+	if n.pool == nil {
+		n.pool = pool.Default()
 	}
-	if workers < 1 {
-		workers = 1
+	tasks := n.pool.Workers() + 1 // the Run caller executes tasks too
+	if tasks > 8 {
+		tasks = 8
 	}
-	if cap(n.bcastCounts) < workers*n.delta {
-		n.bcastCounts = make([]int, workers*n.delta)
+	if cap(n.bcastCounts) < tasks*n.delta {
+		n.bcastCounts = make([]int, tasks*n.delta)
 	}
-	counts := n.bcastCounts[:workers*n.delta]
+	counts := n.bcastCounts[:tasks*n.delta]
 	for i := range counts {
 		counts[i] = 0
 	}
-	for len(n.bcastSpill) < workers {
+	for len(n.bcastSpill) < tasks {
 		n.bcastSpill = append(n.bcastSpill, nil)
 	}
-	var wg sync.WaitGroup
-	per := (n.players + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*per, (w+1)*per
-		if hi > n.players {
-			hi = n.players
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			myCounts := counts[w*n.delta : (w+1)*n.delta]
-			spill := n.bcastSpill[w][:0]
-			for r := lo; r < hi; r++ {
-				if r == m.From {
-					continue
-				}
-				dr := n.clampDelivery(sent, policy.DeliveryRound(m, r))
-				d := dr - sent - 1
-				if claimed[d] {
-					s := &n.ring[dr%nslots]
-					s.byRecipient[r] = append(s.byRecipient[r], m)
-					myCounts[d]++
-				} else {
-					spill = append(spill, spillRef{recipient: r, round: dr})
-				}
-			}
-			n.bcastSpill[w] = spill
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	n.bcastMsg, n.bcastPolicy = m, policy
+	n.bcastPer = (n.players + tasks - 1) / tasks
+	n.pool.Run(tasks, n.bcastFn)
+	n.bcastPolicy = nil
 	total := 0
 	for d := 0; d < n.delta; d++ {
 		sum := 0
-		for w := 0; w < workers; w++ {
+		for w := 0; w < tasks; w++ {
 			sum += counts[w*n.delta+d]
 		}
 		if sum > 0 {
@@ -389,12 +377,44 @@ func (n *Network) broadcastParallel(m Message, policy DelayPolicy) {
 	}
 	n.pending += total
 	n.sent += total
-	for w := 0; w < workers; w++ {
+	for w := 0; w < tasks; w++ {
 		for _, sp := range n.bcastSpill[w] {
 			n.enqueue(m, sp.recipient, sp.round)
 		}
 		n.bcastSpill[w] = n.bcastSpill[w][:0]
 	}
+}
+
+// broadcastTask is the persistent pool closure of broadcastParallel: it
+// enqueues the in-flight broadcast (the bcastMsg/bcastPolicy/bcastPer
+// fields, published before pool.Run) for the recipients of one
+// contiguous chunk of the player range.
+func (n *Network) broadcastTask(task int) {
+	m, policy := n.bcastMsg, n.bcastPolicy
+	sent := m.SentRound
+	nslots := len(n.ring)
+	claimed := n.bcastClaim[:n.delta]
+	lo, hi := task*n.bcastPer, (task+1)*n.bcastPer
+	if hi > n.players {
+		hi = n.players
+	}
+	myCounts := n.bcastCounts[task*n.delta : (task+1)*n.delta]
+	spill := n.bcastSpill[task][:0]
+	for r := lo; r < hi; r++ {
+		if r == m.From {
+			continue
+		}
+		dr := n.clampDelivery(sent, policy.DeliveryRound(m, r))
+		d := dr - sent - 1
+		if claimed[d] {
+			s := &n.ring[dr%nslots]
+			s.byRecipient[r] = append(s.byRecipient[r], m)
+			myCounts[d]++
+		} else {
+			spill = append(spill, spillRef{recipient: r, round: dr})
+		}
+	}
+	n.bcastSpill[task] = spill
 }
 
 // Send schedules m for a single recipient at deliverRound. It is the

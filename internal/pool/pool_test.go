@@ -1,0 +1,157 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversAllTasks checks that every task index in [0, tasks) is
+// executed exactly once, across worker counts above, below, and equal to
+// the task count.
+func TestRunCoversAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		for _, tasks := range []int{0, 1, 2, 3, 7, 64, 1000} {
+			hits := make([]int32, tasks)
+			p.Run(tasks, func(task int) {
+				atomic.AddInt32(&hits[task], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d tasks=%d: task %d ran %d times", workers, tasks, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestRunReusableAcrossPhases drives many consecutive phases through one
+// pool — the engine's per-round usage pattern — and checks the barrier
+// resets correctly every time (all writes of phase k visible at phase
+// k+1's start).
+func TestRunReusableAcrossPhases(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const phases, tasks = 2000, 9
+	sum := make([]int, tasks)
+	for round := 0; round < phases; round++ {
+		p.Run(tasks, func(task int) {
+			sum[task]++ // worker-private slot: distinct task indices
+		})
+		// Barrier semantics: after Run returns, every task's effect is
+		// visible to the caller.
+		for i := range sum {
+			if sum[i] != round+1 {
+				t.Fatalf("phase %d: task %d ran %d times", round, i, sum[i])
+			}
+		}
+	}
+}
+
+// TestRunConcurrentOwners shares one pool between several goroutines
+// running phases concurrently — the sweep's per-cell engines pattern.
+// Phases must serialize without mixing their task sets.
+func TestRunConcurrentOwners(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	const owners, phases, tasks = 6, 50, 11
+	var wg sync.WaitGroup
+	for o := 0; o < owners; o++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int, tasks)
+			for k := 0; k < phases; k++ {
+				p.Run(tasks, func(task int) { local[task]++ })
+			}
+			for i := range local {
+				if local[i] != phases {
+					t.Errorf("task %d ran %d times, want %d", i, local[i], phases)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestWorkersClamped pins the constructor's lower clamp and the worker
+// count accessor.
+func TestWorkersClamped(t *testing.T) {
+	for _, w := range []int{-3, 0, 1, 5} {
+		p := New(w)
+		want := w
+		if want < 1 {
+			want = 1
+		}
+		if got := p.Workers(); got != want {
+			t.Fatalf("New(%d).Workers() = %d, want %d", w, got, want)
+		}
+		p.Close()
+	}
+}
+
+// TestCloseIdempotentAndRunPanics pins the termination contract: double
+// Close is a no-op, Run afterwards panics — on the barrier path and on
+// the single-task fast path alike.
+func TestCloseIdempotentAndRunPanics(t *testing.T) {
+	for _, tasks := range []int{1, 4} {
+		p := New(2)
+		p.Close()
+		p.Close()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Run(%d) on closed pool did not panic", tasks)
+				}
+			}()
+			p.Run(tasks, func(int) {})
+		}()
+	}
+}
+
+// TestDefaultShared pins that Default returns one process-wide pool.
+func TestDefaultShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() returned distinct pools")
+	}
+	// And it works.
+	var n atomic.Int64
+	Default().Run(16, func(int) { n.Add(1) })
+	if n.Load() != 16 {
+		t.Fatalf("Default pool ran %d of 16 tasks", n.Load())
+	}
+}
+
+// BenchmarkBarrierPool measures the fixed cost of one parallel phase on
+// the persistent pool — the per-round overhead the engine's delivery
+// phase pays at P=4 even when shards have no work.
+func BenchmarkBarrierPool(b *testing.B) {
+	p := New(4)
+	defer p.Close()
+	nop := func(int) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Run(4, nop)
+	}
+}
+
+// BenchmarkBarrierSpawn measures the same empty 4-way phase on the
+// spawn-per-phase pattern the pool replaces (fresh goroutines plus a
+// sync.WaitGroup every call) — the PR-2/PR-3 fixed cost baseline.
+func BenchmarkBarrierSpawn(b *testing.B) {
+	nop := func(int) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for k := 0; k < 4; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				nop(k)
+			}(k)
+		}
+		wg.Wait()
+	}
+}

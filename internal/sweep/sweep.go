@@ -25,6 +25,7 @@ import (
 	"neatbound/internal/engine"
 	"neatbound/internal/metrics"
 	"neatbound/internal/params"
+	"neatbound/internal/pool"
 )
 
 // seedGolden spreads per-replicate and per-cell seeds (the 64-bit golden
@@ -57,6 +58,12 @@ type Config struct {
 	// (engine.Config.Shards); 0 keeps cell engines serial, the right
 	// choice when the grid itself saturates the workers.
 	Shards int
+	// Pool is the persistent worker pool every cell shares — sharded
+	// cell engines, their network fan-outs, and the consistency
+	// checkers' pairwise scans all take turns on its workers instead of
+	// spawning competing goroutine fleets per cell. Nil shares the
+	// process-wide default pool. The pool never affects results.
+	Pool *pool.Pool
 }
 
 // Cell is the outcome of one grid point.
@@ -135,6 +142,11 @@ func runJobs(ctx context.Context, cfg Config, replicates int, collect func(idx, 
 	total := nCells * replicates
 	if workers > total {
 		workers = total
+	}
+	if cfg.Pool == nil {
+		// One pool for the whole grid: cells take turns on a shared
+		// worker set instead of each acquiring parallelism on its own.
+		cfg.Pool = pool.Default()
 	}
 	done := ctx.Done()
 	jobs := make(chan job)
@@ -217,6 +229,7 @@ func runCell(ctx context.Context, cfg Config, nu, c float64, seed uint64, sample
 		cell.Err = err
 		return cell
 	}
+	checker.UsePool(cfg.Pool)
 	var adv engine.Adversary
 	if cfg.NewAdversary != nil {
 		adv = cfg.NewAdversary()
@@ -228,6 +241,7 @@ func runCell(ctx context.Context, cfg Config, nu, c float64, seed uint64, sample
 		Adversary: adv,
 		Observer:  checker,
 		Shards:    cfg.Shards,
+		Pool:      cfg.Pool,
 	})
 	if err != nil {
 		cell.Err = err

@@ -10,6 +10,7 @@ import (
 	"neatbound/internal/consistency"
 	"neatbound/internal/engine"
 	"neatbound/internal/metrics"
+	"neatbound/internal/pool"
 	"neatbound/internal/sweep"
 )
 
@@ -312,6 +313,9 @@ func Run(ctx context.Context, pr Params, opts ...Option) (*RunReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The post-run pairwise consistency scan shares the same persistent
+	// worker pool the engine's delivery phase and broadcast fan-out use.
+	checker.UsePool(pool.Default())
 	ledger, err := consistency.NewLedgerRecorder(pr.Delta)
 	if err != nil {
 		return nil, err
