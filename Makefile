@@ -2,16 +2,17 @@
 
 GO ?= go
 
-# Label for `make bench`'s BENCH_engine.json entry; same label replaces.
+# Label for `make bench`'s BENCH_engine.json entry; labels are
+# append-only — bench refuses to overwrite an existing one.
 BENCH_LABEL ?= current
 
-.PHONY: verify fmt vet build test test-race test-parallel test-pool bench
+.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist bench
 
-## verify: the full tier-1 gate — formatting, vet (all packages,
-## internal/pool included), build, the quick pooled-parity check, and
-## the race test suite (~6 min; internal/dist's statistical tests
-## dominate).
-verify: fmt vet build test-pool test-race
+## verify: the full tier-1 gate — formatting, vet, build (`go build
+## ./...` compiles the examples too), the package-doc check, the quick
+## pooled-parity and distributed-parity checks, and the race test suite
+## (~6 min; internal/dist's statistical tests dominate).
+verify: fmt vet build docs-check test-pool test-dist test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -24,6 +25,17 @@ vet:
 
 build:
 	$(GO) build ./...
+
+## examples: compile every runnable example (they are ordinary main
+## packages, so this is the "does the documented API actually build"
+## check).
+examples:
+	$(GO) build ./examples/...
+
+## docs-check: every package must carry a package doc comment stating
+## what it is (and, for the concurrent ones, its ownership contract).
+docs-check:
+	sh scripts/docs_check.sh
 
 test:
 	$(GO) test ./...
@@ -44,9 +56,25 @@ test-pool:
 	$(GO) test -race -short ./internal/pool/
 	$(GO) test -race -short -run 'Pool|Pooled' ./internal/engine/ ./internal/consistency/ ./internal/sweep/ .
 
-## bench: run the façade benchmarks, then append (or replace) the
-## BENCH_engine.json entry labeled $(BENCH_LABEL) — the core count is
-## stamped automatically, so entries are comparable across machines.
+## test-dist: seconds-long short-mode race pass over the distributed
+## sweep driver — partitioning, the worker protocol, in-process
+## coordinator/worker parity, reassignment after worker death — plus the
+## façade and CLI distributed paths. (The real-subprocess parity tests
+## skip under -short; the full `test-race` pass runs them.)
+test-dist:
+	$(GO) test -race -short -run 'Dist|Partition|Worker|Replicate' ./internal/distsweep/ ./internal/sweep/ ./cmd/sweep/ .
+
+## bench: run the façade benchmarks, then append the BENCH_engine.json
+## entry labeled $(BENCH_LABEL) — the core count is stamped
+## automatically, so entries are comparable across machines. Labels are
+## append-only: the measured trajectory is hand-curated per change, so
+## overwriting an existing label is refused rather than silently
+## rewriting history.
 bench:
+	@if [ -f BENCH_engine.json ] && grep -q '"label": "$(BENCH_LABEL)"' BENCH_engine.json; then \
+		echo "bench: label '$(BENCH_LABEL)' already exists in BENCH_engine.json —" \
+			"pick a fresh BENCH_LABEL=<name> (the trajectory is append-only)" >&2; \
+		exit 1; \
+	fi
 	$(GO) test -bench . -benchmem -run '^$$' .
 	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_engine.json

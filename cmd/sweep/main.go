@@ -16,6 +16,19 @@
 // neatbound.MergeCellStreams. -workers sizes the job pool (0 =
 // GOMAXPROCS); -shards additionally parallelizes the delivery phase
 // inside each cell's engine, for grids of few, large cells.
+//
+// # Distributed mode
+//
+// -coordinator W partitions the grid across W worker subprocesses (this
+// same binary relaunched with -worker, each speaking the JSONL shard
+// protocol of docs/interchange.md on its stdin/stdout) and merges their
+// cell streams into the ν-major grid a single-process run would have
+// produced, bit for bit; failed shards are reassigned automatically.
+// -dist-shards cuts the grid finer than one shard per worker for
+// better rebalancing. -worker turns the process into a protocol worker
+// (all grid flags are ignored; the coordinator's shard specs carry the
+// configuration); it is meant to be spawned by a coordinator, not run
+// by hand.
 package main
 
 import (
@@ -24,11 +37,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"neatbound"
 )
+
+// newExecutor launches the coordinator's worker fleet; it is a seam so
+// tests can run coordinator mode without real subprocesses. fleet is
+// the worker count: the GOMAXPROCS job budget is divided across the
+// workers (each relaunched from the current executable in worker mode
+// with -workers set), so N workers on one host don't oversubscribe it
+// N-fold.
+var newExecutor = func(fleet int) neatbound.ShardExecutor {
+	jobs := runtime.GOMAXPROCS(0) / fleet
+	if jobs < 1 {
+		jobs = 1
+	}
+	return neatbound.NewSubprocessExecutor("", "-worker", "-workers", strconv.Itoa(jobs))
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -62,12 +92,26 @@ func run(args []string) error {
 	advName := fs.String("adversary", "private",
 		"strategy: "+strings.Join(neatbound.AdversaryNames(), "|"))
 	forkDepth := fs.Int("fork-depth", 4, "private adversary's target fork depth")
-	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS; single-process mode only)")
 	shards := fs.Int("shards", 0, "per-cell engine delivery shards (0 = serial)")
 	replicates := fs.Int("replicates", 1, "independent replicates per cell")
 	jsonOut := fs.Bool("json", false, "stream one JSON line per finished cell")
+	worker := fs.Bool("worker", false, "serve the shard protocol on stdin/stdout (spawned by -coordinator)")
+	coordinator := fs.Int("coordinator", 0, "partition the grid across this many worker subprocesses (0 = single-process)")
+	distShards := fs.Int("dist-shards", 0, "target shard count in coordinator mode (0 = one per worker)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// SIGINT/SIGTERM cancel the context, so an interrupted coordinator
+	// kills its worker fleet instead of orphaning it mid-shard.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *worker {
+		// Worker mode: everything about the sweep arrives in shard specs;
+		// the grid flags above are ignored except -workers, which bounds
+		// this worker's job-queue parallelism (the coordinator sets it to
+		// its share of the host's budget).
+		return neatbound.ServeSweepWorker(ctx, os.Stdin, os.Stdout, *workers)
 	}
 	nus, err := parseFloats(*nuList)
 	if err != nil {
@@ -87,14 +131,36 @@ func run(args []string) error {
 		neatbound.WithSeed(*seed),
 		neatbound.WithConsistency(*tee, 0),
 		neatbound.WithAdversaryName(*advName, neatbound.AdversaryOpts{ForkDepth: *forkDepth}),
-		neatbound.WithWorkers(*workers),
 		neatbound.WithShards(*shards),
 		neatbound.WithReplicates(*replicates),
 	}
-	if *jsonOut || *replicates > 1 {
-		return runStreaming(grid, opts, *jsonOut)
+	// Single-process and coordinator mode produce bit-identical grids;
+	// the only difference is who executes the cells.
+	runGrid := neatbound.RunSweep
+	if *coordinator > 0 {
+		if *workers != 0 {
+			return fmt.Errorf("-workers sizes the single-process job pool; in coordinator mode the fleet size is -coordinator (got -workers %d)", *workers)
+		}
+		// Never launch (or budget for) more workers than there are
+		// shards: the coordinator would leave the extras idle while each
+		// launched worker runs on a divided share of the machine.
+		fleet := *coordinator
+		if s := neatbound.SweepShards(grid, *replicates, fleet, *distShards); s < fleet {
+			fleet = s
+		}
+		opts = append(opts,
+			neatbound.WithWorkers(fleet),
+			neatbound.WithTargetShards(*distShards),
+			neatbound.WithExecutor(newExecutor(fleet)),
+		)
+		runGrid = neatbound.RunSweepDistributed
+	} else {
+		opts = append(opts, neatbound.WithWorkers(*workers))
 	}
-	cells, err := neatbound.RunSweep(context.Background(), grid, opts...)
+	if *jsonOut || *replicates > 1 {
+		return runStreaming(ctx, runGrid, grid, opts, *jsonOut)
+	}
+	cells, err := runGrid(ctx, grid, opts...)
 	if err != nil {
 		return err
 	}
@@ -120,8 +186,12 @@ func run(args []string) error {
 }
 
 // runStreaming executes the sweep with progressive per-cell delivery: as
-// JSON interchange lines with -json, as a live table otherwise.
-func runStreaming(grid neatbound.SweepGrid, opts []neatbound.Option, jsonOut bool) error {
+// JSON interchange lines with -json, as a live table otherwise. runGrid
+// is RunSweep or RunSweepDistributed — the streaming contract (each cell
+// once, completion order) is the same.
+func runStreaming(ctx context.Context,
+	runGrid func(context.Context, neatbound.SweepGrid, ...neatbound.Option) ([]neatbound.AggregateCell, error),
+	grid neatbound.SweepGrid, opts []neatbound.Option, jsonOut bool) error {
 	enc := json.NewEncoder(os.Stdout)
 	if !jsonOut {
 		fmt.Printf("%-7s %-8s %-5s %-7s %-19s %-13s %s\n",
@@ -147,7 +217,7 @@ func runStreaming(grid neatbound.SweepGrid, opts []neatbound.Option, jsonOut boo
 			emitErr = emit(cell)
 		}
 	}))
-	if _, err := neatbound.RunSweep(context.Background(), grid, opts...); err != nil {
+	if _, err := runGrid(ctx, grid, opts...); err != nil {
 		return err
 	}
 	return emitErr

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"neatbound"
+)
 
 func TestParseFloats(t *testing.T) {
 	got, err := parseFloats("0.1, 0.2 ,0.3")
@@ -31,6 +35,35 @@ func TestRunInfeasibleCellPrinted(t *testing.T) {
 		"-n", "4", "-delta", "1",
 		"-nu", "0.3", "-c", "0.01",
 		"-rounds", "100", "-adversary", "passive",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunDistCoordinatorMode drives -coordinator end to end with
+// in-process workers (the executor seam spares the test a subprocess
+// spawn; the real subprocess protocol is pinned in internal/distsweep
+// and the root parity tests).
+func TestRunDistCoordinatorMode(t *testing.T) {
+	orig := newExecutor
+	newExecutor = func(int) neatbound.ShardExecutor { return neatbound.NewInProcessExecutor(0) }
+	defer func() { newExecutor = orig }()
+	if err := run([]string{
+		"-n", "8", "-delta", "2",
+		"-nu", "0.2,0.3", "-c", "2,10",
+		"-rounds", "200", "-adversary", "max-delay",
+		"-replicates", "2",
+		"-coordinator", "2", "-dist-shards", "3",
+		"-json",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The plain-table path must work in coordinator mode too.
+	if err := run([]string{
+		"-n", "8", "-delta", "2",
+		"-nu", "0.25", "-c", "2",
+		"-rounds", "200",
+		"-coordinator", "2",
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,145 @@
+package neatbound_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"neatbound"
+)
+
+// distTestGrid is shared by the distributed façade tests: small enough
+// for short mode, wide enough to partition across workers both by
+// ν-slices and by replicate ranges.
+func distTestGrid() (neatbound.SweepGrid, []neatbound.Option) {
+	grid := neatbound.SweepGrid{
+		N: 8, Delta: 2,
+		NuValues: []float64{0.1, 0.25},
+		CValues:  []float64{1, 4},
+	}
+	opts := []neatbound.Option{
+		neatbound.WithRounds(150),
+		neatbound.WithSeed(11),
+		neatbound.WithConsistency(2, 0),
+		neatbound.WithAdversaryName("private", neatbound.AdversaryOpts{ForkDepth: 2}),
+		neatbound.WithReplicates(3),
+	}
+	return grid, opts
+}
+
+func marshalGrid(t *testing.T, cells []neatbound.AggregateCell) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := neatbound.MarshalCells(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestRunSweepDistributedMatchesRunSweep pins the façade-level parity
+// acceptance: the distributed grid — including replicate-split shards —
+// is byte-identical to the single-process RunSweep on the same inputs.
+func TestRunSweepDistributedMatchesRunSweep(t *testing.T) {
+	grid, opts := distTestGrid()
+	ref, err := neatbound.RunSweep(context.Background(), grid, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalGrid(t, ref)
+	for _, shards := range []int{1, 3, 8} {
+		got, err := neatbound.RunSweepDistributed(context.Background(), grid,
+			append(opts, neatbound.WithWorkers(2), neatbound.WithTargetShards(shards))...)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if g := marshalGrid(t, got); g != want {
+			t.Errorf("shards=%d: distributed grid differs\ngot:\n%s\nwant:\n%s", shards, g, want)
+		}
+	}
+}
+
+// TestRunSweepDistributedSubprocessParity exercises the same parity over
+// real worker subprocesses — the test binary relaunched in worker mode —
+// so the façade path is pinned end to end, executable included.
+func TestRunSweepDistributedSubprocessParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker subprocesses")
+	}
+	// Children inherit the environment, so the flag set here puts the
+	// relaunched test binary into worker mode.
+	t.Setenv("NEATBOUND_SWEEP_WORKER", "1")
+	grid, opts := distTestGrid()
+	ref, err := neatbound.RunSweep(context.Background(), grid, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := neatbound.NewSubprocessExecutor(os.Args[0], "-test.run=^TestHelperSweepWorker$")
+	got, err := neatbound.RunSweepDistributed(context.Background(), grid,
+		append(opts,
+			neatbound.WithWorkers(2),
+			neatbound.WithTargetShards(4),
+			neatbound.WithExecutor(ex))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := marshalGrid(t, got), marshalGrid(t, ref); g != w {
+		t.Errorf("subprocess grid differs\ngot:\n%s\nwant:\n%s", g, w)
+	}
+}
+
+// TestHelperSweepWorker turns the test binary into a shard-protocol
+// worker when relaunched by TestRunSweepDistributedSubprocessParity.
+func TestHelperSweepWorker(t *testing.T) {
+	if os.Getenv("NEATBOUND_SWEEP_WORKER") != "1" {
+		t.Skip("helper process, only meaningful when relaunched as a worker")
+	}
+	if err := neatbound.ServeSweepWorker(context.Background(), os.Stdin, os.Stdout, 0); err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func TestRunSweepDistributedCellObserver(t *testing.T) {
+	grid, opts := distTestGrid()
+	var mu sync.Mutex
+	seen := map[[2]float64]int{}
+	cells, err := neatbound.RunSweepDistributed(context.Background(), grid,
+		append(opts,
+			neatbound.WithWorkers(2),
+			neatbound.WithTargetShards(8),
+			neatbound.WithCellObserver(func(cell neatbound.AggregateCell) {
+				mu.Lock()
+				seen[[2]float64{cell.Nu, cell.C}]++
+				mu.Unlock()
+			}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(cells) {
+		t.Fatalf("observer saw %d distinct cells, grid has %d", len(seen), len(cells))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %v observed %d times", k, n)
+		}
+	}
+}
+
+func TestDistributedOptionScope(t *testing.T) {
+	grid, _ := distTestGrid()
+	_, err := neatbound.RunSweepDistributed(context.Background(), grid,
+		neatbound.WithRounds(10),
+		neatbound.WithAdversaryFactory(func() neatbound.Adversary { return neatbound.NewMaxDelayAdversary() }))
+	if err == nil || !strings.Contains(err.Error(), "WithAdversaryFactory") {
+		t.Errorf("factory crossed a process boundary: %v", err)
+	}
+	_, err = neatbound.RunSweep(context.Background(), grid,
+		neatbound.WithRounds(10),
+		neatbound.WithExecutor(neatbound.NewInProcessExecutor(0)))
+	if err == nil || !strings.Contains(err.Error(), "WithExecutor") {
+		t.Errorf("WithExecutor accepted by RunSweep: %v", err)
+	}
+}

@@ -14,6 +14,19 @@
 //   - Accounting tallies C(t₀, t₀+T−1) against A(t₀, t₀+T−1), the
 //     quantities Lemma 1 compares: consistency holds when convergence
 //     opportunities outnumber adversarial blocks.
+//
+// # Concurrency and ownership
+//
+// A Checker is single-owner: OnRound observes one engine's rounds and
+// Check/MaxForkDepth run after (or between) rounds on the same
+// goroutine; nothing here is safe for concurrent use on one instance.
+// The pairwise scans behind Check and MaxForkDepth are internally
+// parallel when UsePool installs a worker pool (shared with the engine
+// and other checkers — owners take turns on it), partitioning the
+// snapshot-pair upper triangle into contiguous chunks folded back in
+// the serial scan's lexicographic order, so pooled results are
+// bit-identical to serial ones. Snapshot tips are copied into a
+// checker-owned arena, so the engine may reuse its buffers freely.
 package consistency
 
 import (

@@ -1,0 +1,493 @@
+package distsweep
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"neatbound/internal/sweep"
+)
+
+// Progress is the coordinator's report after every committed or failed
+// shard.
+type Progress struct {
+	// ShardsDone and Shards count committed shards against the total.
+	ShardsDone, Shards int
+	// Cells counts committed cell records (replicate-tagged included).
+	Cells int
+	// Retries counts shard reassignments after failures so far.
+	Retries int
+}
+
+// Options tunes the coordinator.
+type Options struct {
+	// Workers is the number of workers to launch; values < 1 mean 1.
+	// The coordinator never launches more workers than shards.
+	Workers int
+	// Shards is the target shard count for Partition; 0 means one per
+	// worker.
+	Shards int
+	// Retries bounds how often one shard may be reassigned after a
+	// failure before the sweep fails (default 2; negative disables
+	// retries).
+	Retries int
+	// Executor launches workers; nil runs them in-process, dividing the
+	// GOMAXPROCS job-queue budget across the fleet.
+	Executor Executor
+	// OnProgress, when non-nil, is called after every committed or
+	// failed shard, serialized, on an internal goroutine; it must not
+	// block.
+	OnProgress func(Progress)
+	// OnCell, when non-nil, receives every grid cell exactly once, as
+	// soon as it is fully committed (its shard's summary arrived clean
+	// and, for replicate-split cells, every covering shard landed).
+	// Calls are serialized on internal goroutines, in completion order;
+	// OnCell must not block.
+	OnCell func(sweep.AggregateCell)
+}
+
+// defaultRetries is the per-shard reassignment bound when Options leaves
+// Retries zero.
+const defaultRetries = 2
+
+// Run drives a distributed sweep: it partitions s, launches workers
+// through the executor, dispatches shard specs, and reassembles the
+// returned cell streams into the parent grid's ν-major order — bit for
+// bit what the single-process sweep.RunGrid would have produced for any
+// partitioning. Failed shard attempts are discarded wholesale and
+// requeued (see the package comment's fault-tolerance contract).
+//
+// Cancelling ctx stops the fleet promptly — subprocess workers are
+// killed, in-process workers stop within one engine round — and Run
+// returns the cells committed so far together with ctx.Err().
+func Run(ctx context.Context, s Sweep, opts Options) ([]sweep.AggregateCell, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	target := opts.Shards
+	if target == 0 {
+		target = workers
+	}
+	specs := Partition(s, target)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	retries := opts.Retries
+	if retries == 0 {
+		retries = defaultRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	ex := opts.Executor
+	if ex == nil {
+		// Default in-process fleet: divide the job-queue budget across
+		// the workers so W of them don't each spin up a GOMAXPROCS-wide
+		// queue (a W-fold oversubscription in CPU-bound engine jobs).
+		per := runtime.GOMAXPROCS(0) / workers
+		if per < 1 {
+			per = 1
+		}
+		ex = InProcess{Opts: WorkerOptions{Workers: per}}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	c := &coordinator{
+		sweep:   s,
+		specs:   specs,
+		retries: retries,
+		ex:      ex,
+		ctx:     runCtx,
+		cancel:  cancel,
+		// A shard has at most one queued instance at a time (it is
+		// requeued only after its in-flight attempt fails), so len(specs)
+		// bounds the channel occupancy regardless of the retry budget.
+		work: make(chan int, len(specs)),
+		opts: opts,
+	}
+	c.initPlacement()
+	for i := range specs {
+		c.work <- i
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c.runWorker(id)
+		}(id)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return c.out, err
+	}
+	if c.fatal != nil {
+		return nil, c.fatal
+	}
+	if c.done < len(specs) {
+		// Every worker goroutine exited (launch failures) with shards
+		// still pending.
+		err := c.launchErr
+		if err == nil {
+			err = errors.New("distsweep: workers exhausted before all shards completed")
+		}
+		return nil, err
+	}
+	for idx, ok := range c.placed {
+		if !ok {
+			return nil, fmt.Errorf("distsweep: internal error: cell %d never committed", idx)
+		}
+	}
+	return c.out, nil
+}
+
+// coordinator is Run's shared state; mu guards everything below it.
+// cbMu serializes the user callbacks (OnProgress, OnCell) and is always
+// acquired before mu, so callback invocations see state snapshots in a
+// consistent, monotone order.
+type coordinator struct {
+	sweep   Sweep
+	specs   []ShardSpec
+	retries int
+	ex      Executor
+	ctx     context.Context
+	cancel  context.CancelFunc
+	work    chan int
+	opts    Options
+
+	cbMu      sync.Mutex
+	mu        sync.Mutex
+	out       []sweep.AggregateCell
+	placed    []bool
+	cellIdx   map[cellKey]int
+	repParts  map[int][]sweep.AggregateCell // cell idx → per-replicate records
+	repSeen   map[int][]bool
+	repCount  map[int]int
+	failures  []int
+	done      int
+	cells     int
+	reassigns int
+	fatal     error
+	launchErr error
+	closed    bool
+}
+
+func (c *coordinator) initPlacement() {
+	nCells := len(c.sweep.NuValues) * len(c.sweep.CValues)
+	c.out = make([]sweep.AggregateCell, nCells)
+	c.placed = make([]bool, nCells)
+	c.cellIdx = make(map[cellKey]int, nCells)
+	idx := 0
+	for _, nu := range c.sweep.NuValues {
+		for _, cv := range c.sweep.CValues {
+			c.cellIdx[cellKey{nu, cv}] = idx
+			idx++
+		}
+	}
+	c.repParts = make(map[int][]sweep.AggregateCell)
+	c.repSeen = make(map[int][]bool)
+	c.repCount = make(map[int]int)
+	c.failures = make([]int, len(c.specs))
+}
+
+// session is one live worker connection plus its persistent record
+// scanner (a fresh scanner per shard could buffer past record
+// boundaries).
+type session struct {
+	conn *WorkerConn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+func newSession(conn *WorkerConn) *session {
+	sc := bufio.NewScanner(conn.Out)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &session{conn: conn, enc: json.NewEncoder(conn.In), sc: sc}
+}
+
+// runWorker is one worker goroutine: it owns (re)launching its worker
+// and drives shards over the connection until the queue closes or the
+// context dies. A shard that fails for any reason — launch failure,
+// transport error, failed summary — is handed to fail() for
+// reassignment, and the connection is dropped so the next shard starts
+// on a fresh worker.
+func (c *coordinator) runWorker(id int) {
+	var sess *session
+	defer func() {
+		if sess != nil {
+			sess.conn.Close()
+		}
+	}()
+	for {
+		var shardID int
+		select {
+		case <-c.ctx.Done():
+			return
+		case s, ok := <-c.work:
+			if !ok {
+				return
+			}
+			shardID = s
+		}
+		if sess == nil {
+			conn, err := c.ex.Start(c.ctx, id)
+			if err != nil {
+				c.noteLaunchFailure(err)
+				c.fail(shardID, fmt.Errorf("distsweep: launch worker %d: %w", id, err))
+				// Do not spin on a broken executor: requeue and let the
+				// surviving workers drain the queue.
+				return
+			}
+			sess = newSession(conn)
+		}
+		if err := c.runShardOn(sess, c.specs[shardID]); err != nil {
+			// The worker's state is unknown after a failed attempt (it may
+			// be wedged mid-stream), so tear it down forcefully rather
+			// than waiting on it.
+			sess.conn.Abort()
+			sess = nil
+			c.fail(shardID, err)
+			continue
+		}
+		c.commitDone(shardID)
+	}
+}
+
+// runShardOn dispatches one shard over the session and buffers its cell
+// records until the summary record arrives clean; only then is the
+// attempt committed. Any transport break, framing mismatch, or summary
+// error voids the attempt without touching coordinator state.
+func (c *coordinator) runShardOn(sess *session, spec ShardSpec) error {
+	if err := sess.enc.Encode(requestRecord{Spec: &spec}); err != nil {
+		return fmt.Errorf("distsweep: send shard %d: %w", spec.Shard, err)
+	}
+	var cells []sweep.AggregateCell
+	var reps []int
+	for {
+		if !sess.sc.Scan() {
+			if err := sess.sc.Err(); err != nil {
+				return fmt.Errorf("distsweep: shard %d: read records: %w", spec.Shard, err)
+			}
+			return fmt.Errorf("distsweep: shard %d: %w before shard summary", spec.Shard, io.ErrUnexpectedEOF)
+		}
+		line := sess.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe summaryRecord
+		if err := json.Unmarshal(line, &probe); err == nil && probe.Summary != nil {
+			sum := probe.Summary
+			if sum.Shard != spec.Shard {
+				return fmt.Errorf("distsweep: shard %d: summary for shard %d", spec.Shard, sum.Shard)
+			}
+			if sum.Error != "" {
+				return fmt.Errorf("distsweep: shard %d failed on worker: %s", spec.Shard, sum.Error)
+			}
+			if sum.Cells != len(cells) {
+				return fmt.Errorf("distsweep: shard %d: summary counts %d records, received %d",
+					spec.Shard, sum.Cells, len(cells))
+			}
+			break
+		}
+		cell, rep, err := sweep.UnmarshalCellLine(line)
+		if err != nil {
+			return fmt.Errorf("distsweep: shard %d: %w", spec.Shard, err)
+		}
+		if rep < 0 {
+			rep = -1 // normalize: any negative tag means "plain aggregate"
+		}
+		cells = append(cells, cell)
+		reps = append(reps, rep)
+	}
+	if want := spec.expectedRecords(); len(cells) != want {
+		return fmt.Errorf("distsweep: shard %d: %d records, expected %d", spec.Shard, len(cells), want)
+	}
+	return c.commit(spec, cells, reps)
+}
+
+// commit folds one clean shard attempt into the grid: aggregate records
+// are placed directly at their parent index; replicate-tagged records
+// accumulate per cell and are refolded — in global replicate order,
+// through the same Welford fold the in-process aggregation uses — the
+// moment the last covering shard lands. Commit is all-or-nothing: every
+// record is validated before the first one touches shared state, so a
+// rejected attempt really does leave the coordinator untouched and the
+// shard retryable (the contract runShardOn and the package doc promise).
+func (c *coordinator) commit(spec ShardSpec, cells []sweep.AggregateCell, reps []int) error {
+	var finished []sweep.AggregateCell
+	if c.opts.OnCell != nil {
+		// Serialize the OnCell calls below against every other callback
+		// (cbMu before mu, per the lock order).
+		c.cbMu.Lock()
+		defer c.cbMu.Unlock()
+	}
+	c.mu.Lock()
+	// Validation pass: resolve and check every record against both the
+	// committed state and the attempt's own records, mutating nothing.
+	idxs := make([]int, len(cells))
+	staged := make(map[[2]int]bool, len(cells)) // (cell idx, rep) within this attempt
+	for i, cell := range cells {
+		idx, ok := c.cellIdx[cellKey{cell.Nu, cell.C}]
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("distsweep: shard %d: record for unknown cell (ν=%g, c=%g)", spec.Shard, cell.Nu, cell.C)
+		}
+		idxs[i] = idx
+		if c.placed[idx] {
+			c.mu.Unlock()
+			return fmt.Errorf("distsweep: shard %d: cell (ν=%g, c=%g) already committed", spec.Shard, cell.Nu, cell.C)
+		}
+		rep := reps[i]
+		if rep >= c.sweep.Replicates {
+			c.mu.Unlock()
+			return fmt.Errorf("distsweep: shard %d: replicate tag %d outside [0, %d)", spec.Shard, rep, c.sweep.Replicates)
+		}
+		if rep >= 0 && c.repSeen[idx] != nil && c.repSeen[idx][rep] {
+			c.mu.Unlock()
+			return fmt.Errorf("distsweep: shard %d: duplicate record for (ν=%g, c=%g) replicate %d", spec.Shard, cell.Nu, cell.C, rep)
+		}
+		if rep < 0 && (c.repCount[idx] > 0 || staged[[2]int{idx, -2}]) {
+			// An aggregate claims the whole cell; it cannot coexist with
+			// replicate-tagged records for the same cell (from this
+			// attempt or a previously committed shard).
+			c.mu.Unlock()
+			return fmt.Errorf("distsweep: shard %d: aggregate for cell (ν=%g, c=%g) conflicts with replicate records", spec.Shard, cell.Nu, cell.C)
+		}
+		if rep >= 0 && staged[[2]int{idx, -1}] {
+			c.mu.Unlock()
+			return fmt.Errorf("distsweep: shard %d: replicate record for cell (ν=%g, c=%g) conflicts with an aggregate", spec.Shard, cell.Nu, cell.C)
+		}
+		key := [2]int{idx, rep}
+		if staged[key] {
+			c.mu.Unlock()
+			return fmt.Errorf("distsweep: shard %d: repeated record for cell (ν=%g, c=%g) in one attempt", spec.Shard, cell.Nu, cell.C)
+		}
+		staged[key] = true
+		if rep >= 0 {
+			staged[[2]int{idx, -2}] = true // marks "has replicate records"
+		}
+	}
+	// Apply pass: infallible except for the terminal refold.
+	for i, cell := range cells {
+		idx := idxs[i]
+		if reps[i] < 0 {
+			c.out[idx] = cell
+			c.placed[idx] = true
+			finished = append(finished, cell)
+			continue
+		}
+		rep := reps[i]
+		if c.repParts[idx] == nil {
+			c.repParts[idx] = make([]sweep.AggregateCell, c.sweep.Replicates)
+			c.repSeen[idx] = make([]bool, c.sweep.Replicates)
+		}
+		c.repParts[idx][rep] = cell
+		c.repSeen[idx][rep] = true
+		c.repCount[idx]++
+		if c.repCount[idx] == c.sweep.Replicates {
+			agg, err := sweep.AggregateReplicates(cell.Nu, cell.C, c.repParts[idx])
+			if err != nil {
+				// Unreachable in practice (the fold fails only on
+				// impossible counts), and the cell's parts are complete
+				// and consistent — surface it as fatal rather than
+				// retrying a shard that cannot fix it.
+				c.mu.Unlock()
+				return fmt.Errorf("distsweep: fold cell (ν=%g, c=%g): %w", cell.Nu, cell.C, err)
+			}
+			c.out[idx] = agg
+			c.placed[idx] = true
+			delete(c.repParts, idx)
+			delete(c.repSeen, idx)
+			delete(c.repCount, idx)
+			finished = append(finished, agg)
+		}
+	}
+	c.cells += len(cells)
+	c.mu.Unlock()
+	if c.opts.OnCell != nil {
+		for _, cell := range finished {
+			c.opts.OnCell(cell)
+		}
+	}
+	return nil
+}
+
+// commitDone marks one shard committed, reports progress, and closes the
+// queue after the last one.
+func (c *coordinator) commitDone(shardID int) {
+	c.cbMu.Lock()
+	defer c.cbMu.Unlock()
+	c.mu.Lock()
+	c.done++
+	last := c.done == len(c.specs)
+	if last && !c.closed {
+		c.closed = true
+		close(c.work)
+	}
+	p := c.progressLocked()
+	c.mu.Unlock()
+	c.report(p)
+}
+
+// fail reassigns one failed shard attempt, or kills the sweep once the
+// shard's retry budget is spent. After context cancellation failures are
+// expected fallout and are not retried or counted.
+func (c *coordinator) fail(shardID int, err error) {
+	if c.ctx.Err() != nil {
+		return
+	}
+	c.cbMu.Lock()
+	defer c.cbMu.Unlock()
+	c.mu.Lock()
+	c.failures[shardID]++
+	if c.failures[shardID] > c.retries {
+		if c.fatal == nil {
+			c.fatal = fmt.Errorf("distsweep: shard %d failed %d times, giving up: %w",
+				shardID, c.failures[shardID], err)
+		}
+		c.mu.Unlock()
+		c.cancel()
+		return
+	}
+	c.reassigns++
+	p := c.progressLocked()
+	if !c.closed {
+		c.work <- shardID
+	}
+	c.mu.Unlock()
+	c.report(p)
+}
+
+// noteLaunchFailure records the first executor launch error for the
+// workers-exhausted diagnosis.
+func (c *coordinator) noteLaunchFailure(err error) {
+	c.mu.Lock()
+	if c.launchErr == nil {
+		c.launchErr = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *coordinator) progressLocked() Progress {
+	return Progress{ShardsDone: c.done, Shards: len(c.specs), Cells: c.cells, Retries: c.reassigns}
+}
+
+func (c *coordinator) report(p Progress) {
+	if c.opts.OnProgress != nil {
+		c.opts.OnProgress(p)
+	}
+}

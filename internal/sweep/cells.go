@@ -14,9 +14,14 @@ import (
 // wireCell is the JSON-lines wire form of an AggregateCell: the cell's
 // fields plus its error as a string (errors do not round-trip through
 // encoding/json). It is the interchange format cmd/sweep -json emits and
-// the cross-process sweep sharding merges.
+// the cross-process sweep sharding merges; docs/interchange.md is the
+// field-by-field specification.
 type wireCell struct {
 	AggregateCell
+	// Rep tags a single-replicate record (the ReplicateCell form
+	// replicate-range shards emit) with its global replicate index; nil
+	// on plain aggregates.
+	Rep   *int   `json:"rep,omitempty"`
 	Error string `json:"error,omitempty"`
 }
 
@@ -46,9 +51,44 @@ func MarshalCell(enc *json.Encoder, cell AggregateCell) error {
 	return nil
 }
 
+// MarshalReplicateCell encodes one replicate's outcome (a ReplicateCell
+// record) tagged with its global replicate index rep — the cell-record
+// form replicate-range sweep shards stream, refolded exactly by
+// AggregateReplicates on the coordinator side.
+func MarshalReplicateCell(enc *json.Encoder, rep int, cell AggregateCell) error {
+	wc := wireCell{AggregateCell: cell, Rep: &rep}
+	if cell.Err != nil {
+		wc.Error = cell.Err.Error()
+	}
+	if err := enc.Encode(wc); err != nil {
+		return fmt.Errorf("sweep: marshal replicate cell (ν=%g, c=%g, rep=%d): %w", cell.Nu, cell.C, rep, err)
+	}
+	return nil
+}
+
+// UnmarshalCellLine parses one interchange cell record, returning the
+// cell and its replicate tag (−1 when the record is a plain aggregate).
+func UnmarshalCellLine(line []byte) (AggregateCell, int, error) {
+	var wc wireCell
+	if err := json.Unmarshal(line, &wc); err != nil {
+		return AggregateCell{}, -1, fmt.Errorf("sweep: unmarshal cell record: %w", err)
+	}
+	cell := wc.AggregateCell
+	if wc.Error != "" {
+		cell.Err = errors.New(wc.Error)
+	}
+	rep := -1
+	if wc.Rep != nil {
+		rep = *wc.Rep
+	}
+	return cell, rep, nil
+}
+
 // UnmarshalCells reads a JSON-lines AggregateCell stream (the
 // MarshalCells format), restoring "error" fields into Err. Blank lines
-// are skipped, so concatenated shard outputs parse directly.
+// are skipped, so concatenated shard outputs parse directly. Replicate
+// tags are dropped: a tagged record reads back as a one-replicate
+// aggregate, which MergeCells pools like any other duplicate.
 func UnmarshalCells(r io.Reader) ([]AggregateCell, error) {
 	var out []AggregateCell
 	sc := bufio.NewScanner(r)

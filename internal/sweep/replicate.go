@@ -42,23 +42,74 @@ type AggregateCell struct {
 
 // aggregate folds one cell's replicate results, always in replicate
 // order, so the floating-point summaries are bit-identical no matter how
-// the worker pool interleaved the runs.
+// the worker pool interleaved the runs. It is AggregateReplicates over
+// the ReplicateCell forms — literally the fold a distributed coordinator
+// applies to replicate-range shard records, which is what makes the two
+// paths bit-identical by construction.
 func aggregate(nu, c float64, reps []Cell) (AggregateCell, error) {
+	rcs := make([]AggregateCell, len(reps))
+	for i, cell := range reps {
+		rcs[i] = ReplicateCell(cell)
+	}
+	return AggregateReplicates(nu, c, rcs)
+}
+
+// ReplicateCell freezes one replicate's outcome as a single-replicate
+// AggregateCell: every summary holds exactly that replicate's value
+// (N = 1, Mean = Min = Max, Std = 0), ViolationRuns flags whether the
+// run violated at all, and a failed replicate carries Err with
+// Replicates = 0. Replicate-range sweep shards stream these records
+// (MarshalReplicateCell) so a coordinator can refold them — in global
+// replicate order, via AggregateReplicates — into exactly the aggregate
+// one process would have computed.
+func ReplicateCell(cell Cell) AggregateCell {
+	out := AggregateCell{Nu: cell.Nu, C: cell.C}
+	if cell.Err != nil {
+		out.Err = cell.Err
+		return out
+	}
+	out.Replicates = 1
+	if cell.Violations > 0 {
+		out.ViolationRuns = 1
+	}
+	// Trials = 1 with 0 ≤ successes ≤ 1 cannot fail validation.
+	out.ViolationRateLo, out.ViolationRateHi, _ = stats.WilsonInterval(out.ViolationRuns, 1)
+	one := func(x float64) stats.Summary {
+		return stats.Summary{N: 1, Mean: x, Min: x, Max: x}
+	}
+	out.Violations = one(float64(cell.Violations))
+	out.Margin = one(float64(cell.Ledger.Margin()))
+	out.Convergence = one(float64(cell.Ledger.Convergence))
+	out.Adversary = one(float64(cell.Ledger.Adversary))
+	out.MaxForkDepth = one(float64(cell.MaxForkDepth))
+	return out
+}
+
+// AggregateReplicates folds single-replicate records (the ReplicateCell
+// form) into the cell's pooled aggregate, in the order given. The
+// arithmetic is the same index-ordered Welford fold the single-process
+// sweep applies to its own replicates — each record's Mean carries the
+// replicate's exact value — so refolding replicate-range shard records
+// in global replicate order reproduces the single-process AggregateCell
+// bit for bit. Records with Err set count as failed replicates: they
+// are skipped, and the last error surfaces only when every replicate
+// failed (matching the in-process aggregation).
+func AggregateReplicates(nu, c float64, reps []AggregateCell) (AggregateCell, error) {
 	var margin, conv, adv, fork, viol stats.Accumulator
 	violationRuns, ok := 0, 0
 	var lastErr error
-	for _, cell := range reps {
-		if cell.Err != nil {
-			lastErr = cell.Err
+	for _, rc := range reps {
+		if rc.Err != nil {
+			lastErr = rc.Err
 			continue
 		}
 		ok++
-		margin.Add(float64(cell.Ledger.Margin()))
-		conv.Add(float64(cell.Ledger.Convergence))
-		adv.Add(float64(cell.Ledger.Adversary))
-		fork.Add(float64(cell.MaxForkDepth))
-		viol.Add(float64(cell.Violations))
-		if cell.Violations > 0 {
+		margin.Add(rc.Margin.Mean)
+		conv.Add(rc.Convergence.Mean)
+		adv.Add(rc.Adversary.Mean)
+		fork.Add(rc.MaxForkDepth.Mean)
+		viol.Add(rc.Violations.Mean)
+		if rc.ViolationRuns > 0 {
 			violationRuns++
 		}
 	}
@@ -78,6 +129,21 @@ func aggregate(nu, c float64, reps []Cell) (AggregateCell, error) {
 	out.Adversary = adv.Summary()
 	out.MaxForkDepth = fork.Summary()
 	return out, nil
+}
+
+// RunEach executes every (cell, replicate) job of the grid and streams
+// each finished replicate to onRep as a ReplicateCell record, on the
+// caller's goroutine in completion order — the primitive replicate-range
+// sweep shards run on. idx and rep are the local cell/replicate indices
+// (the caller shifts them into the parent frame by the same
+// CellOffset/RepOffset it configured for seeding).
+func RunEach(ctx context.Context, cfg Config, replicates int, onRep func(idx, rep int, rc AggregateCell)) error {
+	if replicates < 1 {
+		return fmt.Errorf("sweep: replicates = %d must be ≥ 1", replicates)
+	}
+	return runJobs(ctx, cfg, replicates, func(idx, rep int, cell Cell) {
+		onRep(idx, rep, ReplicateCell(cell))
+	})
 }
 
 // RunReplicated executes the grid `replicates` times with independent

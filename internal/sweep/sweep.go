@@ -5,14 +5,34 @@
 // the Lemma-1 ledger (convergence opportunities vs adversarial blocks),
 // and fork statistics.
 //
+// # Concurrency and ownership
+//
 // Execution is a job queue: every (cell, replicate) pair is one
 // independent job — the per-cell engine and RNG stream are
 // self-contained — fanned out across a bounded worker pool
-// (GOMAXPROCS-sized by default). Replicated sweeps aggregate each cell
-// as soon as its last replicate lands and can stream the finished
-// AggregateCell to a callback while the rest of the grid is still
-// running; per-cell aggregation always folds replicates in index order,
-// so results are bit-identical regardless of worker scheduling.
+// (GOMAXPROCS-sized by default); all cells additionally share one
+// persistent pool.Pool (Config.Pool, defaulting to the process-wide
+// pool) for their engines' sharded phases and consistency scans, so
+// concurrent cells take turns instead of oversubscribing the scheduler.
+// Callbacks (onCell, collect, onRep) always run on the caller's
+// goroutine, in completion order; a Config is value-copied at entry and
+// never written by the runner, so one Config may drive concurrent
+// sweeps. Replicated sweeps aggregate each cell as soon as its last
+// replicate lands and can stream the finished AggregateCell to a
+// callback while the rest of the grid is still running; per-cell
+// aggregation always folds replicates in index order, so results are
+// bit-identical regardless of worker scheduling.
+//
+// # Interchange
+//
+// Finished cells serialize to the JSONL interchange specified in
+// docs/interchange.md: MarshalCells/MarshalCell emit cell records,
+// MarshalReplicateCell emits replicate-tagged records for
+// replicate-range shards, UnmarshalCells/UnmarshalCellLine read them
+// back, and MergeCellStreams reassembles partitioned streams into one
+// grid (duplicate cells pooled via the parallel-Welford stats.Merge).
+// The cross-process driver on top of this format lives in
+// internal/distsweep.
 package sweep
 
 import (
@@ -64,6 +84,14 @@ type Config struct {
 	// spawning competing goroutine fleets per cell. Nil shares the
 	// process-wide default pool. The pool never affects results.
 	Pool *pool.Pool
+	// CellOffset and RepOffset place this grid inside a larger parent
+	// sweep for cross-process sharding: per-job seeds derive from the
+	// parent's ν-major cell index (local index + CellOffset) and the
+	// parent's replicate index (local replicate + RepOffset), so a shard
+	// covering a slice of the parent grid draws exactly the seeds the
+	// parent's single-process run would. Both zero for a standalone
+	// sweep.
+	CellOffset, RepOffset int
 }
 
 // Cell is the outcome of one grid point.
@@ -104,9 +132,10 @@ func (cfg Config) validate() error {
 // cellSeed derives the deterministic seed of one (cell, replicate) job.
 // The derivation matches the pre-job-queue runner (replicate offsets the
 // base seed, the 1-based cell index XORs in), so existing seeded sweeps
-// reproduce their historical results.
+// reproduce their historical results. Cross-process shards shift idx and
+// rep into the parent grid's frame via CellOffset/RepOffset.
 func (cfg Config) cellSeed(idx, rep int) uint64 {
-	return (cfg.Seed + uint64(rep)*seedGolden) ^ (uint64(idx+1) * seedGolden)
+	return (cfg.Seed + uint64(rep+cfg.RepOffset)*seedGolden) ^ (uint64(idx+cfg.CellOffset+1) * seedGolden)
 }
 
 // runJobs executes every (cell, replicate) pair of the grid on a worker

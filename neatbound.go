@@ -30,9 +30,12 @@
 // Run is context-aware (cancel mid-flight and get a partial report) and
 // takes any number of Observer hooks that see every round; RunSweep is
 // the same idea for (ν × c) grids, streaming AggregateCells that
-// MarshalCells/MergeCellStreams exchange across processes. The legacy
-// Simulate/Sweep* entry points remain as deprecated shims over this
-// path.
+// MarshalCells/MergeCellStreams exchange across processes, and
+// RunSweepDistributed partitions a grid across worker processes (or
+// anything a ShardExecutor can launch) over the JSONL shard protocol of
+// docs/interchange.md — with the merged grid bit-identical to RunSweep
+// for any partitioning. The legacy Simulate/Sweep* entry points remain
+// as deprecated shims over this path.
 //
 // All parallel execution — the sharded delivery phase (WithShards /
 // WithAutoShards), the large-n broadcast fan-out, the post-run

@@ -5,8 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 
+	"neatbound/internal/adversary"
 	"neatbound/internal/consistency"
 	"neatbound/internal/engine"
 	"neatbound/internal/metrics"
@@ -64,32 +64,17 @@ type AdversaryOpts struct {
 }
 
 // AdversaryNames lists the strategy names NewAdversaryByName accepts.
-func AdversaryNames() []string {
-	return []string{"passive", "max-delay", "private", "balance", "selfish"}
-}
+func AdversaryNames() []string { return adversary.Names() }
 
 // NewAdversaryByName builds a strategy from its experiment/CLI name —
-// the one switch shared by cmd/simulate, cmd/sweep, and cmd/report.
+// the one switch (adversary.ByName) shared by cmd/simulate, cmd/sweep,
+// cmd/report, and the distributed sweep worker's shard specs.
 func NewAdversaryByName(name string, opts AdversaryOpts) (Adversary, error) {
-	forkDepth := opts.ForkDepth
-	if forkDepth <= 0 {
-		forkDepth = 4
+	adv, err := adversary.ByName(name, opts.ForkDepth)
+	if err != nil {
+		return nil, fmt.Errorf("neatbound: %w", err)
 	}
-	switch name {
-	case "passive":
-		return NewPassiveAdversary(), nil
-	case "max-delay":
-		return NewMaxDelayAdversary(), nil
-	case "private":
-		return NewPrivateMiningAdversary(forkDepth), nil
-	case "balance":
-		return NewBalanceAdversary(), nil
-	case "selfish":
-		return NewSelfishAdversary(), nil
-	default:
-		return nil, fmt.Errorf("neatbound: unknown adversary %q (%s)",
-			name, strings.Join(AdversaryNames(), "|"))
-	}
+	return adv, nil
 }
 
 // Progress is the periodic update WithProgress delivers.
@@ -119,6 +104,12 @@ type runOptions struct {
 	replicates    int
 	workers       int
 	onCell        func(AggregateCell)
+
+	// distributed-sweep extras (distributed.go)
+	executor        ShardExecutor
+	targetShards    int
+	shardRetries    int
+	onSweepProgress func(SweepProgress)
 }
 
 // optionScope marks which entry points accept an option.
@@ -127,6 +118,7 @@ type optionScope uint8
 const (
 	scopeRun optionScope = 1 << iota
 	scopeSweep
+	scopeDist
 )
 
 // Option configures Run and RunSweep. Each constructor documents which
@@ -157,14 +149,14 @@ func applyOptions(scope optionScope, entry string, opts []Option) (*runOptions, 
 // WithRounds sets the execution length (per cell, for sweeps). Required:
 // there is no default.
 func WithRounds(rounds int) Option {
-	return Option{name: "WithRounds", scope: scopeRun | scopeSweep,
+	return Option{name: "WithRounds", scope: scopeRun | scopeSweep | scopeDist,
 		apply: func(o *runOptions) { o.rounds = rounds }}
 }
 
 // WithSeed sets the base random seed (0 is a valid seed and the
 // default); identical configurations replay identically.
 func WithSeed(seed uint64) Option {
-	return Option{name: "WithSeed", scope: scopeRun | scopeSweep,
+	return Option{name: "WithSeed", scope: scopeRun | scopeSweep | scopeDist,
 		apply: func(o *runOptions) { o.seed = seed }}
 }
 
@@ -186,7 +178,7 @@ func WithAdversaryFactory(factory func() Adversary) Option {
 // WithAdversaryName selects the strategy by its NewAdversaryByName name;
 // it works for both Run (one instance) and RunSweep (one per cell).
 func WithAdversaryName(name string, opts AdversaryOpts) Option {
-	return Option{name: "WithAdversaryName", scope: scopeRun | scopeSweep,
+	return Option{name: "WithAdversaryName", scope: scopeRun | scopeSweep | scopeDist,
 		apply: func(o *runOptions) { o.advName, o.advOpts, o.advNameSet = name, opts, true }}
 }
 
@@ -195,13 +187,13 @@ func WithAdversaryName(name string, opts AdversaryOpts) Option {
 // sharded, AutoShards picks from GOMAXPROCS and the player count. Any
 // value is bit-identical.
 func WithShards(shards int) Option {
-	return Option{name: "WithShards", scope: scopeRun | scopeSweep,
+	return Option{name: "WithShards", scope: scopeRun | scopeSweep | scopeDist,
 		apply: func(o *runOptions) { o.shards = shards }}
 }
 
 // WithAutoShards is WithShards(AutoShards).
 func WithAutoShards() Option {
-	return Option{name: "WithAutoShards", scope: scopeRun | scopeSweep,
+	return Option{name: "WithAutoShards", scope: scopeRun | scopeSweep | scopeDist,
 		apply: func(o *runOptions) { o.shards = AutoShards }}
 }
 
@@ -209,7 +201,7 @@ func WithAutoShards() Option {
 // snapshot interval (sampleEvery ≤ 0 picks rounds/50, min 1). Without
 // this option the check runs at T = 0 with the default interval.
 func WithConsistency(tee, sampleEvery int) Option {
-	return Option{name: "WithConsistency", scope: scopeRun | scopeSweep,
+	return Option{name: "WithConsistency", scope: scopeRun | scopeSweep | scopeDist,
 		apply: func(o *runOptions) { o.tee, o.sampleEvery = tee, sampleEvery }}
 }
 
@@ -243,24 +235,28 @@ func WithNuSchedule(fn func(round int) float64) Option {
 }
 
 // WithReplicates runs every sweep cell r times with independent seeds
-// and aggregates (default 1). RunSweep only.
+// and aggregates (default 1). RunSweep and RunSweepDistributed.
 func WithReplicates(r int) Option {
-	return Option{name: "WithReplicates", scope: scopeSweep,
+	return Option{name: "WithReplicates", scope: scopeSweep | scopeDist,
 		apply: func(o *runOptions) { o.replicates = r }}
 }
 
-// WithWorkers bounds the sweep job-queue parallelism (0, the default,
-// means GOMAXPROCS). RunSweep only.
+// WithWorkers sizes the sweep's parallelism: for RunSweep the
+// (cell × replicate) job-queue width, for RunSweepDistributed the
+// number of workers the executor launches (0, the default, means
+// GOMAXPROCS either way).
 func WithWorkers(workers int) Option {
-	return Option{name: "WithWorkers", scope: scopeSweep,
+	return Option{name: "WithWorkers", scope: scopeSweep | scopeDist,
 		apply: func(o *runOptions) { o.workers = workers }}
 }
 
-// WithCellObserver streams every finished AggregateCell to fn as its
-// last replicate lands, while the rest of the grid is still running (on
-// the caller's goroutine, in completion order). RunSweep only.
+// WithCellObserver streams every finished AggregateCell to fn exactly
+// once, as it completes, while the rest of the grid is still running —
+// in completion order, serialized. Under RunSweep fn runs on the
+// caller's goroutine; under RunSweepDistributed it runs on an internal
+// coordinator goroutine and must not block.
 func WithCellObserver(fn func(AggregateCell)) Option {
-	return Option{name: "WithCellObserver", scope: scopeSweep,
+	return Option{name: "WithCellObserver", scope: scopeSweep | scopeDist,
 		apply: func(o *runOptions) { o.onCell = fn }}
 }
 

@@ -1,0 +1,29 @@
+#!/bin/sh
+# docs-check: every package must carry a package doc comment — a comment
+# line immediately preceding the `package` clause in at least one of its
+# non-test files. Grep/awk only, so it runs anywhere Go builds do.
+set -eu
+cd "$(dirname "$0")/.."
+fail=0
+for dir in $(find . -name '*.go' ! -path './.git/*' -exec dirname {} \; | sort -u); do
+	has_source=0
+	documented=0
+	for f in "$dir"/*.go; do
+		[ -e "$f" ] || continue
+		case "$f" in *_test.go) continue ;; esac
+		has_source=1
+		if awk 'prev ~ /^\/\// && $0 ~ /^package / {found = 1} {prev = $0} END {exit !found}' "$f"; then
+			documented=1
+			break
+		fi
+	done
+	if [ "$has_source" -eq 1 ] && [ "$documented" -eq 0 ]; then
+		echo "docs-check: package in $dir has no package doc comment" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	echo "docs-check: FAIL — add a '// Package <name> ...' (or '// Command ...') comment" >&2
+	exit 1
+fi
+echo "docs-check: every package documented"
