@@ -6,13 +6,14 @@ GO ?= go
 # append-only — bench refuses to overwrite an existing one.
 BENCH_LABEL ?= current
 
-.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist bench
+.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist test-skip bench
 
 ## verify: the full tier-1 gate — formatting, vet, build (`go build
 ## ./...` compiles the examples too), the package-doc check, the quick
-## pooled-parity and distributed-parity checks, and the race test suite
-## (~6 min; internal/dist's statistical tests dominate).
-verify: fmt vet build docs-check test-pool test-dist test-race
+## pooled-parity, distributed-parity, and fast-forward-equivalence
+## checks, and the race test suite (~6 min; internal/dist's statistical
+## tests dominate).
+verify: fmt vet build docs-check test-pool test-dist test-skip test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -63,6 +64,14 @@ test-pool:
 ## skip under -short; the full `test-race` pass runs them.)
 test-dist:
 	$(GO) test -race -short -run 'Dist|Partition|Worker|Replicate' ./internal/distsweep/ ./internal/sweep/ ./cmd/sweep/ .
+
+## test-skip: seconds-long short-mode race pass over the event-driven
+## round-skipping path — the Geometric sampler's draw-for-draw contract,
+## the network's uniform broadcast slots, and the step-vs-fast-forward
+## equivalence tests (golden traces, artifact byte-identity, sparse
+## regimes, adversary state replay).
+test-skip:
+	$(GO) test -race -short -run 'Geometric|Uniform|SendAll|FastForward' ./internal/dist/ ./internal/network/ ./internal/engine/ .
 
 ## bench: run the façade benchmarks, then append the BENCH_engine.json
 ## entry labeled $(BENCH_LABEL) — the core count is stamped

@@ -43,8 +43,11 @@ type entry struct {
 	RoundsPerOp int     `json:"rounds_per_op"`
 	Iterations  int     `json:"iterations"`
 	Shards      int     `json:"shards"`
-	Cores       int     `json:"cores"`
-	Procs       int     `json:"gomaxprocs,omitempty"`
+	// FastForward records whether the run used the engine's event-driven
+	// round skipping (bit-identical results; throughput-only knob).
+	FastForward bool `json:"fast_forward,omitempty"`
+	Cores       int  `json:"cores"`
+	Procs       int  `json:"gomaxprocs,omitempty"`
 	// Results, normalized per simulated round.
 	RoundsPerSec   float64 `json:"rounds_per_sec"`
 	NsPerRound     float64 `json:"ns_per_round"`
@@ -69,6 +72,7 @@ func main() {
 		rounds = flag.Int("rounds", 1000, "rounds per simulation op")
 		iters  = flag.Int("iters", 30, "simulation ops to average over")
 		shards = flag.Int("shards", 0, "engine delivery shards (0 = serial)")
+		ff     = flag.Bool("fast-forward", false, "enable event-driven round skipping")
 	)
 	flag.Parse()
 
@@ -76,7 +80,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	e, err := measure(pr, *rounds, *iters, *shards)
+	e, err := measure(pr, *rounds, *iters, *shards, *ff)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,13 +118,14 @@ func main() {
 // measure times iters runs of a rounds-long simulation (the
 // BenchmarkSimulationRound body) and reports per-round cost. Allocation
 // counts come from runtime.MemStats deltas, matching -benchmem.
-func measure(pr params.Params, rounds, iters, shards int) (entry, error) {
+func measure(pr params.Params, rounds, iters, shards int, fastForward bool) (entry, error) {
 	if iters < 1 || rounds < 1 {
 		return entry{}, fmt.Errorf("benchjson: iters and rounds must be ≥ 1")
 	}
 	run := func(seed uint64) error {
 		_, err := neatbound.Simulate(neatbound.SimulationConfig{
 			Params: pr, Rounds: rounds, Seed: seed, T: 6, Shards: shards,
+			FastForward: fastForward,
 		})
 		return err
 	}
@@ -144,7 +149,8 @@ func measure(pr params.Params, rounds, iters, shards int) (entry, error) {
 	return entry{
 		N: pr.N, P: pr.P, Delta: pr.Delta, Nu: pr.Nu,
 		RoundsPerOp: rounds, Iterations: iters,
-		Shards: shards, Cores: runtime.NumCPU(), Procs: runtime.GOMAXPROCS(0),
+		Shards: shards, FastForward: fastForward,
+		Cores: runtime.NumCPU(), Procs: runtime.GOMAXPROCS(0),
 		RoundsPerSec:   total / elapsed.Seconds(),
 		NsPerRound:     float64(elapsed.Nanoseconds()) / total,
 		AllocsPerRound: float64(m1.Mallocs-m0.Mallocs) / total,

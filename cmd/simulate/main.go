@@ -62,6 +62,8 @@ func run(args []string) error {
 	tee := fs.Int("T", 8, "consistency chop parameter (Definition 1)")
 	shards := fs.String("shards", "0",
 		"engine delivery shards: an integer (0 = serial) or \"auto\"; any value is bit-identical")
+	ff := fs.Bool("fast-forward", false,
+		"event-driven round skipping for sparse-mining regimes; bit-identical (see docs/fastforward.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,13 +83,17 @@ func run(args []string) error {
 		*n, *delta, *nu, *c, pr.P, *advName, *rounds)
 	fmt.Println("theory:    ", verdict)
 
-	rep, err := neatbound.Run(context.Background(), pr,
+	opts := []neatbound.Option{
 		neatbound.WithRounds(*rounds),
 		neatbound.WithSeed(*seed),
 		neatbound.WithAdversaryName(*advName, neatbound.AdversaryOpts{ForkDepth: *forkDepth}),
 		neatbound.WithConsistency(*tee, 0),
 		neatbound.WithShards(nshards),
-	)
+	}
+	if *ff {
+		opts = append(opts, neatbound.WithFastForward())
+	}
+	rep, err := neatbound.Run(context.Background(), pr, opts...)
 	if err != nil {
 		return err
 	}

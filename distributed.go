@@ -151,6 +151,7 @@ func RunSweepDistributed(ctx context.Context, grid SweepGrid, opts ...Option) ([
 		SampleEvery:  o.sampleEvery,
 		Replicates:   o.replicates,
 		EngineShards: o.shards,
+		FastForward:  o.fastForward,
 	}
 	if o.advNameSet {
 		s.Adversary = o.advName

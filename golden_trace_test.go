@@ -213,6 +213,31 @@ func TestGoldenTracesSharded(t *testing.T) {
 	}
 }
 
+// TestGoldenTracesFastForward pins the event-driven fast-forward path
+// (engine.Config.FastForward) to the exact golden hashes of the step
+// engine: for every golden configuration, serial and sharded, enabling
+// the flag must reproduce the identical RoundRecord stream (no gaps —
+// skipped rounds still emit records), final tips, block counters and
+// tree shape. The adaptive-nu and oracle cases exercise the silent
+// fallback: their preconditions disarm the fast path, and the flag must
+// still change nothing.
+func TestGoldenTracesFastForward(t *testing.T) {
+	for _, shards := range []int{0, 2, 7} {
+		for name, gc := range goldenCases(t) {
+			gc := gc
+			gc.cfg.Shards = shards
+			gc.cfg.FastForward = true
+			t.Run(fmt.Sprintf("%s/P=%d", name, shards), func(t *testing.T) {
+				got := traceHash(t, gc)
+				want := goldenTraces[name]
+				if got != want {
+					t.Errorf("fast-forward trace hash = %#x, want %#x — the event-driven path diverged from the step engine", got, want)
+				}
+			})
+		}
+	}
+}
+
 // TestGoldenTracesPooledShared pins the persistent-pool runtime against
 // the golden hashes: all nine golden configurations run sharded on ONE
 // injected worker pool, consecutively — the delivery barrier is reused

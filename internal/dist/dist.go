@@ -40,6 +40,41 @@ func (b Binomial) Mean() float64 { return float64(b.N) * b.P }
 // Variance returns N·P·(1−P).
 func (b Binomial) Variance() float64 { return float64(b.N) * b.P * (1 - b.P) }
 
+// PZero returns P(X = 0) = (1−P)^N — computed by the exact expression the
+// inversion sampler compares its uniform against, so a uniform u drawn
+// from the same stream yields Sample == 0 iff u ≤ PZero whenever
+// InversionEligible reports true. This is the identity the engine's
+// fast-forward path is built on.
+func (b Binomial) PZero() float64 {
+	if b.N <= 0 || !(b.P > 0) {
+		return 1
+	}
+	if b.P >= 1 {
+		return 0
+	}
+	return math.Pow(1-b.P, float64(b.N))
+}
+
+// InversionEligible reports whether Sample would take the CDF-inversion
+// path, which consumes exactly one uniform per draw regardless of the
+// outcome. Only in this regime are PZero and SampleWith draw-compatible
+// with Sample.
+func (b Binomial) InversionEligible() bool {
+	return b.N > 0 && b.P > 0 && b.P <= 0.5 && float64(b.N)*b.P < btrsThreshold
+}
+
+// SampleWith completes an inversion draw whose single uniform u has
+// already been consumed from the stream: for any u, SampleWith(u) equals
+// what Sample would have returned had it drawn that same u. It panics
+// unless InversionEligible — outside that regime Sample's draw pattern
+// differs and no such equivalence exists.
+func (b Binomial) SampleWith(u float64) int {
+	if !b.InversionEligible() {
+		panic("dist: SampleWith on a non-inversion-eligible Binomial")
+	}
+	return inversionFrom(u, b.N, b.P)
+}
+
 // Sample draws one binom(N, P) variate from r. The draw is exact for all
 // parameterizations: small means use CDF inversion, large means use the
 // BTRS transformed-rejection sampler, and p > ½ is reflected through
@@ -68,10 +103,15 @@ func (b Binomial) Sample(r *rng.Stream) int {
 // recurrence f(k+1) = f(k)·(n−k)/(k+1)·(p/q). Valid for n·p small enough
 // that q^n does not underflow (n·p < 10 ⇒ q^n ≥ e^{-10}·(1+o(1))).
 func inversion(r *rng.Stream, n int, p float64) int {
+	return inversionFrom(r.Float64(), n, p)
+}
+
+// inversionFrom is the inversion walk with the uniform already drawn; it
+// is the shared core of Sample's small-mean path and SampleWith.
+func inversionFrom(u float64, n int, p float64) int {
 	q := 1 - p
 	s := p / q
 	f := math.Pow(q, float64(n))
-	u := r.Float64()
 	k := 0
 	for u > f {
 		u -= f
@@ -126,6 +166,57 @@ func btrs(r *rng.Stream, n int, p float64) int {
 			return int(k)
 		}
 	}
+}
+
+// Geometric is the distribution of the number of consecutive failures
+// before the first success in a sequence of independent trials, where a
+// trial drawing uniform u fails iff u ≤ Q. The ≤ comparison (not <)
+// deliberately mirrors the inversion sampler's zero test: a trial here
+// consumes exactly the uniform a Binomial{N, P}.Sample call would, and
+// fails exactly when that call would return 0, provided
+// Q = Binomial.PZero() and the binomial is InversionEligible. That makes
+// Geometric runs draw-for-draw interchangeable with runs of per-round
+// binomial draws — the equivalence the engine's fast-forward path pins.
+type Geometric struct {
+	// Q is the per-trial failure probability. Sampling requires Q < 1
+	// (a Q ≥ 1 trial never succeeds).
+	Q float64
+}
+
+// Fails reports whether a trial that drew uniform u fails — the exact
+// comparison each Sample/SampleCapped trial performs.
+func (g Geometric) Fails(u float64) bool { return u <= g.Q }
+
+// Sample draws trials from r until one succeeds and returns the number
+// of failures before it, consuming exactly failures+1 uniforms. It
+// panics if Q ≥ 1.
+func (g Geometric) Sample(r *rng.Stream) int {
+	if !(g.Q < 1) {
+		panic("dist: Geometric.Sample with Q >= 1 never terminates")
+	}
+	k := 0
+	for g.Fails(r.Float64()) {
+		k++
+	}
+	return k
+}
+
+// SampleCapped draws at most max trials from r. If a trial succeeds
+// after k < max failures it returns (k, u, true) where u is the
+// successful trial's uniform, having consumed k+1 uniforms; if all max
+// trials fail it returns (max, u, false) with u the last failure's
+// uniform, having consumed exactly max. max ≤ 0 consumes nothing and
+// returns (0, 0, false). The returned u lets a caller finish an
+// interrupted inversion draw via Binomial.SampleWith without re-drawing.
+func (g Geometric) SampleCapped(r *rng.Stream, max int) (failures int, u float64, success bool) {
+	for failures < max {
+		u = r.Float64()
+		if !g.Fails(u) {
+			return failures, u, true
+		}
+		failures++
+	}
+	return failures, u, false
 }
 
 // BernoulliCount is the naive O(n) reference: n independent Bernoulli(p)

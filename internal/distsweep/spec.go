@@ -46,6 +46,9 @@ type Sweep struct {
 	// (engine.Config.Shards, AutoShards allowed). It never affects
 	// results.
 	EngineShards int
+	// FastForward enables each cell engine's event-driven round
+	// skipping (engine.Config.FastForward). It never affects results.
+	FastForward bool
 }
 
 // validate rejects sweeps the coordinator cannot drive. Beyond the
@@ -122,6 +125,8 @@ type ShardSpec struct {
 	ForkDepth int    `json:"fork_depth,omitempty"`
 	// EngineShards is each cell engine's delivery-phase parallelism.
 	EngineShards int `json:"engine_shards,omitempty"`
+	// FastForward enables each cell engine's event-driven round skipping.
+	FastForward bool `json:"fast_forward,omitempty"`
 }
 
 // fullRange reports whether the shard covers its cells' entire
@@ -254,6 +259,7 @@ func Partition(s Sweep, shards int) []ShardSpec {
 				Adversary:    s.Adversary,
 				ForkDepth:    s.ForkDepth,
 				EngineShards: s.EngineShards,
+				FastForward:  s.FastForward,
 			})
 			id++
 		}

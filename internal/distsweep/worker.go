@@ -110,6 +110,7 @@ func runShard(ctx context.Context, spec ShardSpec, opts WorkerOptions, enc *json
 		NewAdversary: factory,
 		Workers:      opts.Workers,
 		Shards:       spec.EngineShards,
+		FastForward:  spec.FastForward,
 		Pool:         opts.Pool,
 		CellOffset:   spec.NuOffset * len(spec.CValues),
 		RepOffset:    spec.RepLo,

@@ -123,6 +123,20 @@ type Config struct {
 	// the first time a parallel phase runs. The pool choice never
 	// affects results, only scheduling.
 	Pool *pool.Pool
+	// FastForward enables event-driven round skipping: rounds that are
+	// provable no-ops — no deliveries due, zero mining on both sides,
+	// adversary quiescent — are crossed in O(1) by sampling the gap to
+	// the next mining event, instead of walking every player. The flag
+	// never affects results: the fast path consumes RNG draws in the
+	// exact order of the step-by-step engine (see docs/fastforward.md
+	// for the eligibility predicate and the draw-order contract), every
+	// skipped round still produces its RoundRecord for observers (the
+	// record stream has no gaps), and the engine silently falls back to
+	// stepping whenever a precondition fails — NuSchedule set, oracle
+	// mining, an adversary without SkipSafe, or a parameterization
+	// outside the binomial inversion regime. TestGoldenTracesFastForward
+	// pins the equivalence on all golden configs.
+	FastForward bool
 }
 
 // AutoShards, assigned to Config.Shards, selects the delivery-phase
@@ -265,6 +279,9 @@ type Engine struct {
 	winnersBuf []int
 	// ctx is the adversary's handle, allocated once per engine.
 	ctx Context
+	// ff is the event-driven fast-forward state (Config.FastForward;
+	// see fastforward.go).
+	ff ffState
 }
 
 // New validates cfg and builds an engine.
@@ -355,6 +372,7 @@ func New(cfg Config) (*Engine, error) {
 		e.net.UsePool(cfg.Pool)
 	}
 	e.ctx = Context{e: e}
+	e.ff.preH, e.ff.preA = -1, -1
 	return e, nil
 }
 
@@ -575,8 +593,9 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		// (and the network fan-out) reuses it without further setup.
 		e.acquirePool()
 	}
+	e.armFastForward()
 	done := ctx.Done()
-	for r := 1; r <= e.cfg.Rounds; r++ {
+	for e.round < e.cfg.Rounds {
 		if done != nil {
 			select {
 			case <-done:
@@ -586,7 +605,23 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 			default:
 			}
 		}
-		rec, err := e.step()
+		var err error
+		if e.ff.armed {
+			// Event-driven advance: skip to the next mining event or
+			// delivery-due round (emitting every skipped round's record),
+			// then execute that round. Bounded, so cancellation is still
+			// checked with low latency.
+			err = e.ffAdvance(res)
+		} else {
+			var rec RoundRecord
+			rec, err = e.step()
+			if err == nil {
+				res.Records = append(res.Records, rec)
+				if e.obs != nil {
+					e.obs.OnRound(e, rec)
+				}
+			}
+		}
 		if err != nil {
 			// A failed round still yields the rounds executed before it,
 			// and observers still finalize (so trace writers flush and
@@ -594,10 +629,6 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 			res.Partial = true
 			e.finalize(res)
 			return res, errors.Join(err, e.finishObservers(res))
-		}
-		res.Records = append(res.Records, rec)
-		if e.obs != nil {
-			e.obs.OnRound(e, rec)
 		}
 	}
 	e.finalize(res)
@@ -657,12 +688,28 @@ func (e *Engine) step() (RoundRecord, error) {
 	// inlined: a candidate wins only when strictly higher; ties keep the
 	// current chain). The phase runs sharded — serial for one shard, one
 	// worker per shard otherwise — with bit-identical results either way
-	// (see the Config doc).
-	if err := e.deliverShards(t); err != nil {
-		return RoundRecord{}, err
+	// (see the Config doc). A round with nothing due skips the walk
+	// outright — state-identical, since every Deliver would return nil;
+	// under fast-forward, a due round whose messages are all uniform
+	// broadcasts onto compactly tracked views is adopted in bulk instead
+	// of per recipient (flashDeliver, bit-identical by construction).
+	if e.net.HasDue(t) {
+		if e.ff.armed && e.net.UniformPendingAt(t) && e.ensureUniformViews() {
+			if err := e.flashDeliver(t); err != nil {
+				return RoundRecord{}, err
+			}
+		} else {
+			e.ff.uniformValid = false
+			if err := e.deliverShards(t); err != nil {
+				return RoundRecord{}, err
+			}
+		}
 	}
 
 	// 2. Honest mining: parallel queries; winners extend their own views.
+	// A pre-drawn count (the fast-forward path detects the event round by
+	// consuming exactly the round's binomial uniform) skips MineCount;
+	// WinnersInto then draws exactly what MineRoundInto would have.
 	policy := e.adv.HonestDelayPolicy(ctx)
 	var winners []int
 	if e.oracle != nil {
@@ -670,8 +717,13 @@ func (e *Engine) step() (RoundRecord, error) {
 		// corrupted players' queries are the adversary's (step 3).
 		winners = e.oracle.mineRound(e.tips[:e.honest], e.winnersBuf)
 	} else {
-		winners = mining.MineRoundInto(e.mineRg, e.honest, e.pr.P, e.winnersBuf)
+		k := e.ff.preH
+		if k < 0 {
+			k = mining.MineCount(e.mineRg, e.honest, e.pr.P)
+		}
+		winners = mining.WinnersInto(e.mineRg, e.honest, k, e.winnersBuf)
 	}
+	e.ff.preH = -1
 	for _, i := range winners {
 		parent := e.tips[i]
 		b := &blockchain.Block{
@@ -685,6 +737,7 @@ func (e *Engine) step() (RoundRecord, error) {
 			return RoundRecord{}, fmt.Errorf("engine: round %d honest add: %w", t, err)
 		}
 		e.setTip(i, b.ID, b.Height)
+		e.noteDeviant(i)
 		e.honestBlocks++
 		if err := e.net.Broadcast(network.Message{Block: b, From: i, SentRound: t}, t, policy); err != nil {
 			return RoundRecord{}, fmt.Errorf("engine: round %d broadcast: %w", t, err)
@@ -695,7 +748,11 @@ func (e *Engine) step() (RoundRecord, error) {
 	}
 
 	// 3. Adversary: sequential queries, then strategy action.
-	advMined := mining.MineCount(e.advRng, e.pr.N-e.honest, e.pr.P)
+	advMined := e.ff.preA
+	if advMined < 0 {
+		advMined = mining.MineCount(e.advRng, e.pr.N-e.honest, e.pr.P)
+	}
+	e.ff.preA = -1
 	e.adversaryBlocks += advMined
 	e.adv.Mine(ctx, advMined)
 
@@ -776,14 +833,13 @@ func (c *Context) Send(b *blockchain.Block, recipient, deliverRound int) error {
 }
 
 // SendToAll schedules b for delivery to every view-maintaining player at
-// deliverRound.
+// deliverRound. The schedule is a single O(1) uniform slot entry when
+// the network can take one (it almost always can — see
+// Network.SendAll), with per-recipient delivery order and counters
+// identical to a Send loop over the player range.
 func (c *Context) SendToAll(b *blockchain.Block, deliverRound int) error {
-	for i := 0; i < c.e.players; i++ {
-		if err := c.Send(b, i, deliverRound); err != nil {
-			return err
-		}
-	}
-	return nil
+	m := network.Message{Block: b, From: -1, SentRound: c.e.round}
+	return c.e.net.SendAll(m, deliverRound)
 }
 
 // PassiveAdversary mines on the longest chain it sees and publishes
@@ -797,6 +853,15 @@ func (PassiveAdversary) Name() string { return "passive" }
 func (PassiveAdversary) HonestDelayPolicy(*Context) network.DelayPolicy {
 	return network.MinDelay{}
 }
+
+// SkipSafe implements SpanQuiescent: zero-mined rounds are pure no-ops
+// (Mine returns before touching anything, the delay policy is the
+// stateless MinDelay), so quiet spans can be fast-forwarded.
+func (PassiveAdversary) SkipSafe() bool { return true }
+
+// ObserveQuiet implements SpanQuiescent: there is no quiet-round state
+// to replay.
+func (PassiveAdversary) ObserveQuiet(*Context, int, int) {}
 
 // Mine implements Adversary: extend the longest chain, publish at once.
 func (PassiveAdversary) Mine(ctx *Context, mined int) {

@@ -116,12 +116,20 @@ func MineRound(r *rng.Stream, count int, p float64) []int {
 // allocation forever. The RNG draw sequence and the returned set are
 // identical to MineRound's for the same stream state.
 func MineRoundInto(r *rng.Stream, count int, p float64, buf []int) []int {
-	k := MineCount(r, count, p)
+	return WinnersInto(r, count, MineCount(r, count, p), buf)
+}
+
+// WinnersInto samples which k of count miners succeeded, given a success
+// count k that was already drawn (by MineCount, or reconstructed from a
+// pre-consumed uniform via dist.Binomial.SampleWith). Its RNG draws are
+// exactly the post-count draws of MineRoundInto, so splitting the count
+// draw from the identity draw is stream-transparent.
+func WinnersInto(r *rng.Stream, count, k int, buf []int) []int {
 	out := buf[:0]
-	if k == 0 {
+	if k <= 0 {
 		return out
 	}
-	if k == count {
+	if k >= count {
 		for i := 0; i < count; i++ {
 			out = append(out, i)
 		}

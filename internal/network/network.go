@@ -86,6 +86,18 @@ type ParallelSafe interface {
 	ParallelSafe()
 }
 
+// RecipientInvariant marks a DelayPolicy whose DeliveryRound ignores the
+// recipient — every recipient of a broadcast receives it in the same
+// round. Broadcast exploits the marker with a single O(1) uniform slot
+// entry instead of O(players) per-recipient appends; the drain paths
+// expand the entry per recipient (minus the sender) in the usual
+// deterministic order, so results are identical to the per-recipient
+// path. Implementations must tolerate DeliveryRound being called with
+// recipient = -1 (the probe Broadcast uses).
+type RecipientInvariant interface {
+	RecipientInvariant()
+}
+
 // MinDelay delivers every honest message at the earliest legal round,
 // sent+1. It models a benign scheduler.
 type MinDelay struct{}
@@ -95,6 +107,10 @@ func (MinDelay) DeliveryRound(m Message, _ int) int { return m.SentRound + 1 }
 
 // ParallelSafe implements the marker interface.
 func (MinDelay) ParallelSafe() {}
+
+// RecipientInvariant implements the marker interface: the delivery round
+// is sent+1 for every recipient.
+func (MinDelay) RecipientInvariant() {}
 
 // MaxDelay delays every honest message by the full Δ. It is the adversary
 // scheduling that the paper's convergence-opportunity analysis must (and
@@ -109,6 +125,10 @@ func (d MaxDelay) DeliveryRound(m Message, _ int) int { return m.SentRound + d.D
 
 // ParallelSafe implements the marker interface.
 func (MaxDelay) ParallelSafe() {}
+
+// RecipientInvariant implements the marker interface: the delivery round
+// is sent+Δ for every recipient.
+func (MaxDelay) RecipientInvariant() {}
 
 // HashedDelay assigns each (block, recipient) pair a deterministic
 // pseudo-random delay in [1, Delta]. Being a pure function of its inputs,
@@ -143,12 +163,28 @@ type slot struct {
 	// until first used. A slot is recycled to a new round only when it
 	// has no pending messages.
 	round int
-	// pending counts undelivered messages across all recipients.
+	// pending counts undelivered messages across all recipients,
+	// including the per-recipient expansion of the uniform entries.
 	pending int
 	// byRecipient[i] holds recipient i's messages for this round. The
 	// slices are retained across recycles (reset to length 0), so the
 	// steady state allocates nothing.
 	byRecipient [][]Message
+	// uniform holds broadcasts destined for every player but their
+	// sender in this round — one entry per broadcast instead of one per
+	// (message, recipient) pair (see Network.enqueueUniform).
+	// uniformPending is the number of undelivered (message, recipient)
+	// pairs the entries stand for; it is always ≤ pending.
+	uniform        []Message
+	uniformPending int
+	// drainedStamp[i] == round marks recipient i as having drained the
+	// uniform entries this round, so repeated drains never deliver a
+	// uniform message twice. No reset is needed on recycle: delivery
+	// rounds are ≥ 1 and distinct per slot generation, so a stale stamp
+	// can never equal the new round. Entries are written by at most one
+	// delivery cursor per round (disjoint recipient ranges), so the
+	// sharded drain stays race-free.
+	drainedStamp []int
 }
 
 // Network is the round-based Δ-delay message fabric. It is not safe for
@@ -246,16 +282,23 @@ func (n *Network) clampDelivery(sent, round int) int {
 	return round
 }
 
+// recycleSlot repurposes a fully drained slot for round r, keeping its
+// buffers. The caller has checked s.pending == 0.
+func (n *Network) recycleSlot(s *slot, r int) {
+	s.round = r
+	s.uniform = s.uniform[:0]
+	s.uniformPending = 0
+	if s.byRecipient == nil {
+		s.byRecipient = make([][]Message, n.players)
+	}
+}
+
 // enqueue schedules m for recipient at round r.
 func (n *Network) enqueue(m Message, recipient, r int) {
 	s := &n.ring[r%len(n.ring)]
 	if s.round != r {
 		if s.pending == 0 {
-			// Recycle the slot for the new round, keeping its buffers.
-			s.round = r
-			if s.byRecipient == nil {
-				s.byRecipient = make([][]Message, n.players)
-			}
+			n.recycleSlot(s, r)
 		} else {
 			// The slot still holds an undelivered earlier (or later)
 			// round: spill to the overflow map instead of evicting.
@@ -276,6 +319,36 @@ func (n *Network) enqueue(m Message, recipient, r int) {
 	n.sent++
 }
 
+// enqueueUniform schedules m for every player — except m.From when it
+// names one — at round r with a single slot entry, O(1) regardless of
+// the player count. It reports false when the target ring slot is held
+// by an undrained other round; the caller then falls back to the
+// per-recipient path (whose enqueue spills to the overflow map).
+func (n *Network) enqueueUniform(m Message, r int) bool {
+	s := &n.ring[r%len(n.ring)]
+	if s.round != r {
+		if s.pending != 0 {
+			return false
+		}
+		n.recycleSlot(s, r)
+	}
+	fanout := n.players
+	if m.From >= 0 && m.From < n.players {
+		fanout--
+	}
+	if fanout > 0 {
+		s.uniform = append(s.uniform, m)
+		s.uniformPending += fanout
+		s.pending += fanout
+		n.pending += fanout
+		if s.drainedStamp == nil {
+			s.drainedStamp = make([]int, n.players)
+		}
+	}
+	n.sent += fanout
+	return true
+}
+
 // Broadcast schedules m for every player except the sender, at the rounds
 // chosen by policy (clamped into [sent+1, sent+Δ]). m.SentRound must equal
 // the current round, enforced by the caller passing round.
@@ -285,6 +358,16 @@ func (n *Network) Broadcast(m Message, round int, policy DelayPolicy) error {
 	}
 	if m.SentRound != round {
 		return fmt.Errorf("network: message stamped round %d broadcast at round %d", m.SentRound, round)
+	}
+	if _, ok := policy.(RecipientInvariant); ok {
+		// One delivery round for every recipient: a single uniform slot
+		// entry replaces the per-recipient fan-out, with identical drain
+		// results (same messages, same deterministic order, same
+		// counters).
+		r := n.clampDelivery(m.SentRound, policy.DeliveryRound(m, -1))
+		if n.enqueueUniform(m, r) {
+			return nil
+		}
 	}
 	const parallelThreshold = 4096
 	if _, ok := policy.(ParallelSafe); ok && n.players >= parallelThreshold {
@@ -334,10 +417,7 @@ func (n *Network) broadcastParallel(m Message, policy DelayPolicy) {
 		case s.round == r:
 			claimed[d] = true
 		case s.pending == 0:
-			s.round = r
-			if s.byRecipient == nil {
-				s.byRecipient = make([][]Message, n.players)
-			}
+			n.recycleSlot(s, r)
 			claimed[d] = true
 		default:
 			claimed[d] = false
@@ -434,6 +514,33 @@ func (n *Network) Send(m Message, recipient, deliverRound int) error {
 	return nil
 }
 
+// SendAll schedules m for every player — including the index m.From
+// names, if any, matching a Send loop over the whole player range — at
+// deliverRound (clamped to at least SentRound+1). When m.From is
+// outside the player range (the adversary's -1) the schedule is a
+// single O(1) uniform slot entry; otherwise, or when the target slot is
+// held by an undrained other round, it falls back to per-recipient
+// sends.
+func (n *Network) SendAll(m Message, deliverRound int) error {
+	if m.Block == nil {
+		return fmt.Errorf("network: send of nil block")
+	}
+	if deliverRound <= m.SentRound {
+		deliverRound = m.SentRound + 1
+	}
+	if m.From < 0 || m.From >= n.players {
+		if n.enqueueUniform(m, deliverRound) {
+			return nil
+		}
+	}
+	for r := 0; r < n.players; r++ {
+		if err := n.Send(m, r, deliverRound); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // DeliverTo removes and returns the messages due for recipient at round,
 // in a deterministic order (by sent round, then block ID, then sender).
 //
@@ -443,11 +550,21 @@ func (n *Network) Send(m Message, recipient, deliverRound int) error {
 // deliver-then-mine round structure does, or copy it out.
 func (n *Network) DeliverTo(recipient, round int) []Message {
 	var msgs []Message
-	ringCount := 0
+	ringCount, uniCount := 0, 0
 	s := &n.ring[round%len(n.ring)]
 	if s.round == round {
 		msgs = s.byRecipient[recipient]
 		ringCount = len(msgs)
+		if s.uniformPending > 0 && s.drainedStamp[recipient] != round {
+			s.drainedStamp[recipient] = round
+			for _, um := range s.uniform {
+				if um.From == recipient {
+					continue
+				}
+				msgs = append(msgs, um)
+				uniCount++
+			}
+		}
 	}
 	// Merge any overflow spill for this (round, recipient).
 	if byRecipient, ok := n.overflow[round]; ok {
@@ -466,10 +583,67 @@ func (n *Network) DeliverTo(recipient, round int) []Message {
 	if s.round == round {
 		// Hand the (possibly grown) buffer back to the slot for reuse.
 		s.byRecipient[recipient] = msgs[:0]
-		s.pending -= ringCount
+		s.pending -= ringCount + uniCount
+		s.uniformPending -= uniCount
 	}
 	n.pending -= len(msgs)
 	n.delivered += len(msgs)
+	return msgs
+}
+
+// HasDue reports whether any message is due for delivery at round. A
+// false answer proves the round's delivery phase is a no-op, so the
+// engine can skip the per-recipient walk entirely.
+func (n *Network) HasDue(round int) bool {
+	if n.pending == 0 {
+		return false
+	}
+	s := &n.ring[round%len(n.ring)]
+	if s.round == round && s.pending > 0 {
+		return true
+	}
+	_, ok := n.overflow[round]
+	return ok
+}
+
+// UniformPendingAt reports whether round has deliveries due and every
+// one of them sits in its ring slot's uniform list — no per-recipient
+// entries, no overflow spill, no open sharded window. Only then may the
+// caller replace the per-recipient drain with one DrainUniform call.
+// The answer is only meaningful before any of the round's messages have
+// been drained.
+func (n *Network) UniformPendingAt(round int) bool {
+	if n.stagedActive {
+		return false
+	}
+	if _, ok := n.overflow[round]; ok {
+		return false
+	}
+	s := &n.ring[round%len(n.ring)]
+	return s.round == round && s.pending > 0 && s.pending == s.uniformPending
+}
+
+// DrainUniform removes and returns round's uniform messages in the
+// deterministic delivery order, marking the whole round delivered in
+// O(1) per message: every recipient (except each message's sender) is
+// accounted as having received every entry. The caller must have
+// established UniformPendingAt(round) and not drained any recipient
+// this round; it must also apply the per-recipient sender exclusion
+// itself (entries with From == recipient were never addressed to that
+// recipient). The returned slice aliases the slot's buffer, with the
+// same lifetime caveat as DeliverTo's.
+func (n *Network) DrainUniform(round int) []Message {
+	s := &n.ring[round%len(n.ring)]
+	if s.round != round || s.uniformPending == 0 {
+		return nil
+	}
+	msgs := s.uniform
+	sortDeliveryOrder(msgs)
+	n.pending -= s.uniformPending
+	n.delivered += s.uniformPending
+	s.pending -= s.uniformPending
+	s.uniformPending = 0
+	s.uniform = s.uniform[:0]
 	return msgs
 }
 

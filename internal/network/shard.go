@@ -29,10 +29,13 @@ type ShardCursor struct {
 	n     *Network
 	round int
 	// ringDrained counts messages taken out of the ring slot (owed to
-	// slot.pending); delivered counts all messages handed out (owed to
-	// the fabric's pending/delivered counters).
-	ringDrained int
-	delivered   int
+	// slot.pending); uniformDrained counts uniform-entry expansions
+	// handed out (owed to both slot.pending and slot.uniformPending);
+	// delivered counts all messages handed out (owed to the fabric's
+	// pending/delivered counters).
+	ringDrained    int
+	uniformDrained int
+	delivered      int
 }
 
 // Cursor returns a delivery cursor for round. Call between BeginRound
@@ -68,12 +71,25 @@ func (n *Network) BeginRound(round int) {
 func (c *ShardCursor) Deliver(recipient int) []Message {
 	n := c.n
 	var msgs []Message
-	ringCount := 0
+	ringCount, uniCount := 0, 0
 	s := &n.ring[c.round%len(n.ring)]
 	owned := s.round == c.round
 	if owned {
 		msgs = s.byRecipient[recipient]
 		ringCount = len(msgs)
+		// Uniform entries are shared read-only slot state during the
+		// window; the drained stamp is written by this cursor alone
+		// (recipient ranges are disjoint), so the expansion is race-free.
+		if s.uniformPending > 0 && s.drainedStamp[recipient] != c.round {
+			s.drainedStamp[recipient] = c.round
+			for _, um := range s.uniform {
+				if um.From == recipient {
+					continue
+				}
+				msgs = append(msgs, um)
+				uniCount++
+			}
+		}
 	}
 	if n.stagedActive {
 		if extra := n.staged[recipient]; extra != nil {
@@ -88,6 +104,7 @@ func (c *ShardCursor) Deliver(recipient int) []Message {
 	if owned {
 		s.byRecipient[recipient] = msgs[:0]
 		c.ringDrained += ringCount
+		c.uniformDrained += uniCount
 	}
 	c.delivered += len(msgs)
 	return msgs
@@ -107,7 +124,8 @@ func (n *Network) EndRound(round int, cursors []ShardCursor) {
 	for i := range cursors {
 		c := &cursors[i]
 		if owned {
-			s.pending -= c.ringDrained
+			s.pending -= c.ringDrained + c.uniformDrained
+			s.uniformPending -= c.uniformDrained
 		}
 		n.pending -= c.delivered
 		n.delivered += c.delivered

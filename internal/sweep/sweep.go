@@ -78,6 +78,10 @@ type Config struct {
 	// (engine.Config.Shards); 0 keeps cell engines serial, the right
 	// choice when the grid itself saturates the workers.
 	Shards int
+	// FastForward enables each cell engine's event-driven round
+	// skipping (engine.Config.FastForward). Bit-identical to stepping;
+	// pays off in sparse-mining cells and falls back silently elsewhere.
+	FastForward bool
 	// Pool is the persistent worker pool every cell shares — sharded
 	// cell engines, their network fan-outs, and the consistency
 	// checkers' pairwise scans all take turns on its workers instead of
@@ -264,13 +268,14 @@ func runCell(ctx context.Context, cfg Config, nu, c float64, seed uint64, sample
 		adv = cfg.NewAdversary()
 	}
 	e, err := engine.New(engine.Config{
-		Params:    pr,
-		Rounds:    cfg.Rounds,
-		Seed:      seed,
-		Adversary: adv,
-		Observer:  checker,
-		Shards:    cfg.Shards,
-		Pool:      cfg.Pool,
+		Params:      pr,
+		Rounds:      cfg.Rounds,
+		Seed:        seed,
+		Adversary:   adv,
+		Observer:    checker,
+		Shards:      cfg.Shards,
+		Pool:        cfg.Pool,
+		FastForward: cfg.FastForward,
 	})
 	if err != nil {
 		cell.Err = err

@@ -195,6 +195,10 @@ type SimulationConfig struct {
 	// Shards is the engine's delivery-phase parallelism (see
 	// engine.Config); 0 or 1 runs serially, any value is bit-identical.
 	Shards int
+	// FastForward enables event-driven round skipping (see
+	// engine.Config.FastForward); bit-identical to stepping, it pays off
+	// in sparse-mining regimes and falls back silently elsewhere.
+	FastForward bool
 }
 
 // SimulationReport summarizes an executed run.
@@ -246,6 +250,9 @@ func Simulate(cfg SimulationConfig) (SimulationReport, error) {
 		WithSeed(cfg.Seed),
 		WithConsistency(cfg.T, cfg.SampleEvery),
 		WithShards(cfg.Shards),
+	}
+	if cfg.FastForward {
+		opts = append(opts, WithFastForward())
 	}
 	if cfg.Adversary != nil {
 		opts = append(opts, WithAdversary(cfg.Adversary))

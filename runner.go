@@ -101,6 +101,7 @@ type runOptions struct {
 	progressFn    func(Progress)
 	traceW        io.Writer
 	nuSchedule    func(round int) float64
+	fastForward   bool
 	replicates    int
 	workers       int
 	onCell        func(AggregateCell)
@@ -234,6 +235,20 @@ func WithNuSchedule(fn func(round int) float64) Option {
 		apply: func(o *runOptions) { o.nuSchedule = fn }}
 }
 
+// WithFastForward enables the engine's event-driven round skipping
+// (engine.Config.FastForward): quiet rounds — nothing due on the
+// network, zero mining on both sides, adversary quiescent — are crossed
+// in O(1) instead of walking every player, which in sparse-mining
+// regimes (np ≪ 1) turns the round loop's cost from O(rounds) into
+// O(events). The flag never changes results: the fast path consumes RNG
+// draws in the step engine's exact order and emits every skipped
+// round's record, and the engine silently falls back to stepping
+// whenever a precondition fails (see docs/fastforward.md).
+func WithFastForward() Option {
+	return Option{name: "WithFastForward", scope: scopeRun | scopeSweep | scopeDist,
+		apply: func(o *runOptions) { o.fastForward = true }}
+}
+
 // WithReplicates runs every sweep cell r times with independent seeds
 // and aggregates (default 1). RunSweep and RunSweepDistributed.
 func WithReplicates(r int) Option {
@@ -335,13 +350,14 @@ func Run(ctx context.Context, pr Params, opts ...Option) (*RunReport, error) {
 	}
 	stack = append(stack, o.observers...)
 	e, err := engine.New(engine.Config{
-		Params:     pr,
-		Rounds:     o.rounds,
-		Seed:       o.seed,
-		Adversary:  adv,
-		Observer:   engine.Observers(stack...),
-		NuSchedule: o.nuSchedule,
-		Shards:     o.shards,
+		Params:      pr,
+		Rounds:      o.rounds,
+		Seed:        o.seed,
+		Adversary:   adv,
+		Observer:    engine.Observers(stack...),
+		NuSchedule:  o.nuSchedule,
+		Shards:      o.shards,
+		FastForward: o.fastForward,
 	})
 	if err != nil {
 		return nil, err
@@ -453,6 +469,7 @@ func RunSweep(ctx context.Context, grid SweepGrid, opts ...Option) ([]AggregateC
 		NewAdversary: factory,
 		Workers:      o.workers,
 		Shards:       o.shards,
+		FastForward:  o.fastForward,
 	}, o.replicates, o.onCell)
 }
 
