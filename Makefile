@@ -6,14 +6,14 @@ GO ?= go
 # append-only — bench refuses to overwrite an existing one.
 BENCH_LABEL ?= current
 
-.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist test-skip bench
+.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist test-skip test-mem bench bench-mem
 
 ## verify: the full tier-1 gate — formatting, vet, build (`go build
 ## ./...` compiles the examples too), the package-doc check, the quick
-## pooled-parity, distributed-parity, and fast-forward-equivalence
-## checks, and the race test suite (~6 min; internal/dist's statistical
-## tests dominate).
-verify: fmt vet build docs-check test-pool test-dist test-skip test-race
+## pooled-parity, distributed-parity, fast-forward-equivalence, and
+## memory/compaction checks, and the race test suite (~6 min;
+## internal/dist's statistical tests dominate).
+verify: fmt vet build docs-check test-pool test-dist test-skip test-mem test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -73,6 +73,13 @@ test-dist:
 test-skip:
 	$(GO) test -race -short -run 'Geometric|Uniform|SendAll|FastForward' ./internal/dist/ ./internal/network/ ./internal/engine/ .
 
+## test-mem: ~20 s short-mode race pass over the memory path — the SoA
+## arena's compaction query-parity, sparse-ID, and payload-side-table
+## tests, the checker retention contract, and golden-trace bit-identity
+## under aggressive compaction (docs/memory.md).
+test-mem:
+	$(GO) test -race -short -run 'Compact|Retention|Payload|Sparse' ./internal/blockchain/ ./internal/consistency/ .
+
 ## bench: run the façade benchmarks, then append the BENCH_engine.json
 ## entry labeled $(BENCH_LABEL) — the core count is stamped
 ## automatically, so entries are comparable across machines. Labels are
@@ -87,3 +94,19 @@ bench:
 	fi
 	$(GO) test -bench . -benchmem -run '^$$' .
 	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_engine.json
+
+## bench-mem: the n = 10⁶ sparse-p memory benchmark (n·p = 0.1, 10⁵
+## rounds) with fast-forward, arena compaction, and a bounded checker
+## retention window: the run mines ~10⁴ blocks but the arena stays
+## ~10³ live, and heap_peak_bytes/live_blocks land in the entry (the
+## pr7-mem-n1e6 configuration). Same append-only label discipline as
+## bench; ~1 min.
+bench-mem:
+	@if [ -f BENCH_engine.json ] && grep -q '"label": "$(BENCH_LABEL)"' BENCH_engine.json; then \
+		echo "bench-mem: label '$(BENCH_LABEL)' already exists in BENCH_engine.json —" \
+			"pick a fresh BENCH_LABEL=<name> (the trajectory is append-only)" >&2; \
+		exit 1; \
+	fi
+	$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_engine.json \
+		-n 1000000 -p 1e-7 -delta 10 -nu 0.3 -rounds 100000 -iters 3 \
+		-fast-forward -compact-every 2000 -checker-retention 4

@@ -46,13 +46,26 @@ type entry struct {
 	// FastForward records whether the run used the engine's event-driven
 	// round skipping (bit-identical results; throughput-only knob).
 	FastForward bool `json:"fast_forward,omitempty"`
-	Cores       int  `json:"cores"`
-	Procs       int  `json:"gomaxprocs,omitempty"`
+	// CompactEvery/CheckerRetention record the arena-compaction knobs of
+	// the measured run (0 = compaction off; bit-identical results,
+	// memory-only knob).
+	CompactEvery     int `json:"compact_every,omitempty"`
+	CheckerRetention int `json:"checker_retention,omitempty"`
+	Cores            int `json:"cores"`
+	Procs            int `json:"gomaxprocs,omitempty"`
 	// Results, normalized per simulated round.
 	RoundsPerSec   float64 `json:"rounds_per_sec"`
 	NsPerRound     float64 `json:"ns_per_round"`
 	AllocsPerRound float64 `json:"allocs_per_round"`
 	BytesPerRound  float64 `json:"bytes_per_round"`
+	// HeapPeakBytes is the highest HeapAlloc a 1 ms background sampler
+	// observed across the timed runs — the resident-memory story the
+	// per-round allocation rate cannot tell (a run can allocate little
+	// per round yet hold every block ever mined live). LiveBlocks is the
+	// final run's resident arena block count vs TotalBlocks ever mined.
+	HeapPeakBytes uint64 `json:"heap_peak_bytes,omitempty"`
+	LiveBlocks    int    `json:"live_blocks,omitempty"`
+	TotalBlocks   int    `json:"total_blocks,omitempty"`
 }
 
 // file is the on-disk BENCH_engine.json layout.
@@ -63,16 +76,18 @@ type file struct {
 
 func main() {
 	var (
-		label  = flag.String("label", "current", "entry label (same label replaces)")
-		out    = flag.String("out", "BENCH_engine.json", "output JSON path")
-		n      = flag.Int("n", 1000, "players")
-		p      = flag.Float64("p", 1e-4, "per-query success probability")
-		delta  = flag.Int("delta", 8, "network delay bound Δ")
-		nu     = flag.Float64("nu", 0.3, "adversarial fraction ν")
-		rounds = flag.Int("rounds", 1000, "rounds per simulation op")
-		iters  = flag.Int("iters", 30, "simulation ops to average over")
-		shards = flag.Int("shards", 0, "engine delivery shards (0 = serial)")
-		ff     = flag.Bool("fast-forward", false, "enable event-driven round skipping")
+		label   = flag.String("label", "current", "entry label (same label replaces)")
+		out     = flag.String("out", "BENCH_engine.json", "output JSON path")
+		n       = flag.Int("n", 1000, "players")
+		p       = flag.Float64("p", 1e-4, "per-query success probability")
+		delta   = flag.Int("delta", 8, "network delay bound Δ")
+		nu      = flag.Float64("nu", 0.3, "adversarial fraction ν")
+		rounds  = flag.Int("rounds", 1000, "rounds per simulation op")
+		iters   = flag.Int("iters", 30, "simulation ops to average over")
+		shards  = flag.Int("shards", 0, "engine delivery shards (0 = serial)")
+		ff      = flag.Bool("fast-forward", false, "enable event-driven round skipping")
+		compact = flag.Int("compact-every", 0, "arena compaction interval in rounds (0 = off)")
+		retain  = flag.Int("checker-retention", 0, "checker snapshot retention window (0 = full history)")
 	)
 	flag.Parse()
 
@@ -80,7 +95,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	e, err := measure(pr, *rounds, *iters, *shards, *ff)
+	e, err := measure(pr, *rounds, *iters, *shards, *ff, *compact, *retain)
 	if err != nil {
 		fatal(err)
 	}
@@ -111,21 +126,27 @@ func main() {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s: %s  %.0f rounds/s  %.0f ns/round  %.1f allocs/round  %.0f B/round\n",
-		*out, e.Label, e.RoundsPerSec, e.NsPerRound, e.AllocsPerRound, e.BytesPerRound)
+	fmt.Printf("%s: %s  %.0f rounds/s  %.0f ns/round  %.1f allocs/round  %.0f B/round  peak %.1f MiB  live %d/%d blocks\n",
+		*out, e.Label, e.RoundsPerSec, e.NsPerRound, e.AllocsPerRound, e.BytesPerRound,
+		float64(e.HeapPeakBytes)/(1<<20), e.LiveBlocks, e.TotalBlocks)
 }
 
 // measure times iters runs of a rounds-long simulation (the
 // BenchmarkSimulationRound body) and reports per-round cost. Allocation
-// counts come from runtime.MemStats deltas, matching -benchmem.
-func measure(pr params.Params, rounds, iters, shards int, fastForward bool) (entry, error) {
+// counts come from runtime.MemStats deltas, matching -benchmem; peak
+// heap comes from a background sampler running across the timed loop.
+func measure(pr params.Params, rounds, iters, shards int, fastForward bool, compactEvery, retention int) (entry, error) {
 	if iters < 1 || rounds < 1 {
 		return entry{}, fmt.Errorf("benchjson: iters and rounds must be ≥ 1")
 	}
+	var rep neatbound.SimulationReport
 	run := func(seed uint64) error {
-		_, err := neatbound.Simulate(neatbound.SimulationConfig{
+		var err error
+		rep, err = neatbound.Simulate(neatbound.SimulationConfig{
 			Params: pr, Rounds: rounds, Seed: seed, T: 6, Shards: shards,
-			FastForward: fastForward,
+			FastForward:      fastForward,
+			CompactEvery:     compactEvery,
+			CheckerRetention: retention,
 		})
 		return err
 	}
@@ -136,13 +157,16 @@ func measure(pr params.Params, rounds, iters, shards int, fastForward bool) (ent
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	stopSampler := sampleHeapPeak()
 	start := time.Now()
 	for i := 1; i <= iters; i++ {
 		if err := run(uint64(i)); err != nil {
+			stopSampler()
 			return entry{}, err
 		}
 	}
 	elapsed := time.Since(start)
+	heapPeak := stopSampler()
 	runtime.ReadMemStats(&m1)
 
 	total := float64(rounds) * float64(iters)
@@ -150,12 +174,52 @@ func measure(pr params.Params, rounds, iters, shards int, fastForward bool) (ent
 		N: pr.N, P: pr.P, Delta: pr.Delta, Nu: pr.Nu,
 		RoundsPerOp: rounds, Iterations: iters,
 		Shards: shards, FastForward: fastForward,
+		CompactEvery: compactEvery, CheckerRetention: retention,
 		Cores: runtime.NumCPU(), Procs: runtime.GOMAXPROCS(0),
 		RoundsPerSec:   total / elapsed.Seconds(),
 		NsPerRound:     float64(elapsed.Nanoseconds()) / total,
 		AllocsPerRound: float64(m1.Mallocs-m0.Mallocs) / total,
 		BytesPerRound:  float64(m1.TotalAlloc-m0.TotalAlloc) / total,
+		HeapPeakBytes:  heapPeak,
+		LiveBlocks:     rep.LiveBlocks,
+		TotalBlocks:    rep.TotalBlocks,
 	}, nil
+}
+
+// sampleHeapPeak starts a background goroutine polling HeapAlloc every
+// millisecond and returns a stop function yielding the maximum
+// observed. Sampling can only undershoot the true peak (it misses
+// allocations freed between polls), so the recorded number is a
+// conservative floor on resident memory.
+func sampleHeapPeak() func() uint64 {
+	stop := make(chan struct{})
+	done := make(chan uint64, 1)
+	go func() {
+		var m runtime.MemStats
+		var peak uint64
+		ticker := time.NewTicker(time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+				done <- peak
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak {
+					peak = m.HeapAlloc
+				}
+			}
+		}
+	}()
+	return func() uint64 {
+		close(stop)
+		return <-done
+	}
 }
 
 func fatal(err error) {

@@ -10,12 +10,18 @@ import (
 
 func TestMeasureProducesSaneEntry(t *testing.T) {
 	pr := params.Params{N: 50, P: 1e-3, Delta: 3, Nu: 0.3}
-	e, err := measure(pr, 200, 2, 2, true)
+	e, err := measure(pr, 200, 2, 2, true, 50, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e.RoundsPerSec <= 0 || e.NsPerRound <= 0 {
 		t.Errorf("non-positive timings: %+v", e)
+	}
+	if e.HeapPeakBytes == 0 {
+		t.Errorf("heap peak not sampled: %+v", e)
+	}
+	if e.TotalBlocks <= 0 || e.LiveBlocks <= 0 || e.LiveBlocks > e.TotalBlocks+1 {
+		t.Errorf("implausible block counts: live %d, total %d", e.LiveBlocks, e.TotalBlocks)
 	}
 	if e.Cores != runtime.NumCPU() {
 		t.Errorf("cores = %d, want the machine's %d — the field must be stamped, not hand-labeled", e.Cores, runtime.NumCPU())
@@ -42,10 +48,10 @@ func TestMeasureProducesSaneEntry(t *testing.T) {
 
 func TestMeasureValidation(t *testing.T) {
 	pr := params.Params{N: 50, P: 1e-3, Delta: 3, Nu: 0.3}
-	if _, err := measure(pr, 0, 1, 0, false); err == nil {
+	if _, err := measure(pr, 0, 1, 0, false, 0, 0); err == nil {
 		t.Error("0 rounds accepted")
 	}
-	if _, err := measure(pr, 10, 0, 0, false); err == nil {
+	if _, err := measure(pr, 10, 0, 0, false, 0, 0); err == nil {
 		t.Error("0 iters accepted")
 	}
 }

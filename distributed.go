@@ -141,17 +141,20 @@ func RunSweepDistributed(ctx context.Context, grid SweepGrid, opts ...Option) ([
 		return nil, err
 	}
 	s := distsweep.Sweep{
-		N:            grid.N,
-		Delta:        grid.Delta,
-		NuValues:     grid.NuValues,
-		CValues:      grid.CValues,
-		Rounds:       o.rounds,
-		Seed:         o.seed,
-		T:            o.tee,
-		SampleEvery:  o.sampleEvery,
-		Replicates:   o.replicates,
-		EngineShards: o.shards,
-		FastForward:  o.fastForward,
+		N:                grid.N,
+		Delta:            grid.Delta,
+		NuValues:         grid.NuValues,
+		CValues:          grid.CValues,
+		Rounds:           o.rounds,
+		Seed:             o.seed,
+		T:                o.tee,
+		SampleEvery:      o.sampleEvery,
+		Replicates:       o.replicates,
+		EngineShards:     o.shards,
+		FastForward:      o.fastForward,
+		CompactEvery:     o.compactEvery,
+		CompactMinRetire: o.compactMin,
+		CheckerRetention: o.checkerRetain,
 	}
 	if o.advNameSet {
 		s.Adversary = o.advName

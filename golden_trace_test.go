@@ -238,6 +238,68 @@ func TestGoldenTracesFastForward(t *testing.T) {
 	}
 }
 
+// TestGoldenTracesCompacted pins that epoch-based arena compaction
+// (engine.Config.CompactEvery) is pure representation: for every golden
+// configuration — serial and sharded, and again under fast-forward —
+// running with an aggressive compaction schedule (every 200 rounds,
+// minimum retirement 1, so epochs fire constantly instead of waiting
+// for the default spans) must reproduce the exact golden hashes. The
+// trace mixes Tree.Len(), Best() and MaxHeight(), all of which must be
+// invariant under retirement; a changed hash means compaction altered
+// observable simulation state.
+func TestGoldenTracesCompacted(t *testing.T) {
+	for _, variant := range []struct {
+		name   string
+		shards int
+		ff     bool
+	}{
+		{"serial", 0, false},
+		{"P=2", 2, false},
+		{"P=7", 7, false},
+		{"fast-forward", 0, true},
+	} {
+		for name, gc := range goldenCases(t) {
+			gc := gc
+			gc.cfg.Shards = variant.shards
+			gc.cfg.FastForward = variant.ff
+			gc.cfg.CompactEvery = 200
+			gc.cfg.CompactMinRetire = 1
+			t.Run(fmt.Sprintf("%s/%s", name, variant.name), func(t *testing.T) {
+				got := traceHash(t, gc)
+				want := goldenTraces[name]
+				if got != want {
+					t.Errorf("compacted trace hash = %#x, want %#x — compaction changed simulation semantics", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenCompactionRetires guards the compaction goldens against
+// vacuity: under the same aggressive schedule, at least the max-delay
+// configuration must actually retire history (every strategy here
+// implements engine.Retainer and no observer holds block references, so
+// the watermark is free to advance past genesis).
+func TestGoldenCompactionRetires(t *testing.T) {
+	gc := goldenCases(t)["max-delay"]
+	gc.cfg.CompactEvery = 200
+	gc.cfg.CompactMinRetire = 1
+	e, err := engine.New(gc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree.Base() == blockchain.GenesisID {
+		t.Fatal("arena base still at genesis — compaction never fired and the golden compaction traces are vacuous")
+	}
+	if live, total := res.Tree.LiveBlocks(), res.Tree.Len(); live >= total {
+		t.Errorf("live blocks %d not below ever-added %d despite base %d", live, total, res.Tree.Base())
+	}
+}
+
 // TestGoldenTracesPooledShared pins the persistent-pool runtime against
 // the golden hashes: all nine golden configurations run sharded on ONE
 // injected worker pool, consecutively — the delivery barrier is reused

@@ -143,7 +143,7 @@ func (a *PrivateMining) restartFork(ctx *engine.Context) {
 func (a *PrivateMining) publishChain(ctx *engine.Context, tip blockchain.BlockID) {
 	tree := ctx.Tree()
 	// Collect the withheld (adversarial) suffix.
-	var suffix []*blockchain.Block
+	var suffix []blockchain.Block
 	id := tip
 	for {
 		b, ok := tree.Get(id)
@@ -177,10 +177,10 @@ func (p splitPolicy) half(i int) int {
 
 // DeliveryRound implements network.DelayPolicy.
 func (p splitPolicy) DeliveryRound(m network.Message, recipient int) int {
-	if p.half(m.From) == p.half(recipient) {
-		return m.SentRound + 1
+	if p.half(int(m.From)) == p.half(recipient) {
+		return int(m.SentRound) + 1
 	}
-	return m.SentRound + p.delta
+	return int(m.SentRound) + p.delta
 }
 
 // ParallelSafe implements network.ParallelSafe.
@@ -324,7 +324,7 @@ func (a *Selfish) bestHonest(ctx *engine.Context) blockchain.BlockID {
 // reports whether anything was sent.
 func (a *Selfish) publishUpTo(ctx *engine.Context, maxHeight int) bool {
 	tree := ctx.Tree()
-	var toSend []*blockchain.Block
+	var toSend []blockchain.Block
 	id := a.privateTip
 	for {
 		b, ok := tree.Get(id)

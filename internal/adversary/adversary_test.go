@@ -3,7 +3,6 @@ package adversary
 import (
 	"testing"
 
-	"neatbound/internal/blockchain"
 	"neatbound/internal/consistency"
 	"neatbound/internal/engine"
 	"neatbound/internal/metrics"
@@ -39,7 +38,7 @@ func TestMaxDelayPolicy(t *testing.T) {
 	}
 	ctx := engineContext(t, e)
 	policy := MaxDelay{}.HonestDelayPolicy(ctx)
-	m := network.Message{Block: &blockchain.Block{ID: 1}, SentRound: 10}
+	m := network.Message{Block: network.Announce{ID: 1}, SentRound: 10}
 	if got := policy.DeliveryRound(m, 0); got != 14 {
 		t.Errorf("delivery at %d, want sent+Δ = 14", got)
 	}
@@ -242,7 +241,7 @@ func TestStrategyNames(t *testing.T) {
 
 func TestSplitPolicyHalves(t *testing.T) {
 	p := splitPolicy{honest: 10, delta: 6}
-	m := network.Message{Block: &blockchain.Block{ID: 1}, From: 2, SentRound: 0}
+	m := network.Message{Block: network.Announce{ID: 1}, From: 2, SentRound: 0}
 	if got := p.DeliveryRound(m, 3); got != 1 {
 		t.Errorf("same half delivery %d, want 1", got)
 	}

@@ -1,0 +1,78 @@
+package adversary
+
+// This file implements engine.Retainer for every strategy, arming the
+// engine's arena compaction (engine.Config.CompactEvery): each strategy
+// reports the block IDs it may still dereference in a future round, so
+// the compaction watermark never retires a block the strategy will ask
+// the tree about.
+//
+// For the withholding strategies the report is just the private tip.
+// That is sufficient, not merely necessary: honest views never descend
+// from withheld blocks, so the watermark W — a common ancestor of the
+// private tip and every honest tip — lies at or below the fork anchor,
+// and the publish walks (publishChain/publishUpTo), which stop at the
+// first honest block, never step below W. Published-but-undelivered
+// blocks are covered separately by the engine's in-flight fold.
+
+import (
+	"neatbound/internal/blockchain"
+	"neatbound/internal/engine"
+)
+
+// Compile-time checks that every strategy supports compaction.
+var (
+	_ engine.Retainer = MaxDelay{}
+	_ engine.Retainer = (*PrivateMining)(nil)
+	_ engine.Retainer = (*Balance)(nil)
+	_ engine.Retainer = (*Selfish)(nil)
+	_ engine.Retainer = (*Switcher)(nil)
+)
+
+// AppendRetained implements engine.Retainer: the strategy holds no
+// block references across rounds (it re-reads Best each Mine call).
+func (MaxDelay) AppendRetained(buf []blockchain.BlockID) ([]blockchain.BlockID, bool) {
+	return buf, true
+}
+
+// AppendRetained implements engine.Retainer: the withheld private tip
+// pins the whole private chain above the watermark (see the file
+// comment); forkHeight is a plain int, not a block reference.
+func (a *PrivateMining) AppendRetained(buf []blockchain.BlockID) ([]blockchain.BlockID, bool) {
+	if a.privateTip != 0 {
+		buf = append(buf, a.privateTip)
+	}
+	return buf, true
+}
+
+// AppendRetained implements engine.Retainer: the strategy re-reads the
+// branch tips from the engine accumulators every round and keeps only
+// counters across rounds.
+func (a *Balance) AppendRetained(buf []blockchain.BlockID) ([]blockchain.BlockID, bool) {
+	return buf, true
+}
+
+// AppendRetained implements engine.Retainer: as for PrivateMining, the
+// private tip is the only held reference.
+func (a *Selfish) AppendRetained(buf []blockchain.BlockID) ([]blockchain.BlockID, bool) {
+	if a.privateTip != 0 {
+		buf = append(buf, a.privateTip)
+	}
+	return buf, true
+}
+
+// AppendRetained implements engine.Retainer: every strategy in the
+// rotation retains across its dormant stretches, so the fold spans all
+// of them; a rotation containing a non-Retainer member declines
+// compaction outright.
+func (a *Switcher) AppendRetained(buf []blockchain.BlockID) ([]blockchain.BlockID, bool) {
+	for _, s := range a.Strategies {
+		r, ok := s.(engine.Retainer)
+		if !ok {
+			return buf, false
+		}
+		if buf, ok = r.AppendRetained(buf); !ok {
+			return buf, false
+		}
+	}
+	return buf, true
+}

@@ -212,7 +212,24 @@ type Checker struct {
 	// pool, when set, runs ViolationsAtChop's pairwise scan on
 	// persistent workers (see UsePool).
 	pool *pool.Pool
+	// retain bounds the snapshot history to the most recent retain
+	// samples (0 = keep the whole run); pin is the running common
+	// ancestor of every retained snapshot tip, the single block the
+	// checker reports to the engine's compaction watermark
+	// (AppendRetained) — every retained tip descends from it, so by
+	// ID-monotonic ancestry every tip (and every block a pairwise scan
+	// visits) survives any compaction at or below the pin. pinBroken
+	// records a failed pin fold, after which the checker vetoes
+	// compaction outright.
+	retain    int
+	pin       blockchain.BlockID
+	pinOK     bool
+	pinBroken bool
 }
+
+// Compile-time check: the checker participates in the engine's
+// compaction watermark.
+var _ engine.Retainer = (*Checker)(nil)
 
 // NewChecker returns a checker with chop parameter tee, sampling every
 // `every` rounds.
@@ -231,6 +248,66 @@ func NewChecker(tee, every int) (*Checker, error) {
 // bit-identical either way; the pool affects only wall-clock time.
 func (c *Checker) UsePool(p *pool.Pool) { c.pool = p }
 
+// SetRetention bounds the snapshot history to the most recent keep
+// samples; 0 (the default) retains the whole run. Retention is what
+// makes the checker compatible with arena compaction
+// (engine.Config.CompactEvery): with full history the checker's oldest
+// tips pin the compaction watermark near genesis and the arena never
+// shrinks, while a bounded window lets the pin — and with it the
+// watermark — advance as old snapshots are released. Check and
+// MaxForkDepth then evaluate Definition 1 over the retained window
+// only.
+func (c *Checker) SetRetention(keep int) {
+	if keep < 0 {
+		keep = 0
+	}
+	c.retain = keep
+}
+
+// AppendRetained implements engine.Retainer: the pin covers every
+// retained snapshot tip (each descends from it), so reporting the pin
+// alone keeps all of them — and every block the pairwise scans walk
+// between them — out of compaction's reach. A broken pin fold vetoes
+// compaction for the rest of the run.
+func (c *Checker) AppendRetained(buf []blockchain.BlockID) ([]blockchain.BlockID, bool) {
+	if c.pinBroken {
+		return buf, false
+	}
+	if c.pinOK {
+		buf = append(buf, c.pin)
+	}
+	return buf, true
+}
+
+// foldPin lowers the pin to cover tips.
+func (c *Checker) foldPin(tree *blockchain.Tree, tips []blockchain.BlockID) {
+	if c.pinBroken {
+		return
+	}
+	for _, t := range tips {
+		if !c.pinOK {
+			c.pin, c.pinOK = t, true
+			continue
+		}
+		ca, err := tree.CommonAncestor(c.pin, t)
+		if err != nil {
+			c.pinBroken = true
+			return
+		}
+		c.pin = ca
+	}
+}
+
+// refoldPin recomputes the pin from scratch over the retained
+// snapshots — called when a release drops the oldest samples, letting
+// the pin climb back up to the window's true common ancestor.
+func (c *Checker) refoldPin(tree *blockchain.Tree) {
+	c.pinOK = false
+	for i := range c.snaps {
+		c.foldPin(tree, c.snaps[i].Tips)
+	}
+}
+
 // OnRound implements engine.Observer: it snapshots the engine's distinct
 // honest tips on sampling rounds. The tips are copied into the
 // checker's arena, so a snapshot costs zero allocations in steady state
@@ -241,6 +318,14 @@ func (c *Checker) OnRound(e *engine.Engine, rec engine.RoundRecord) {
 	}
 	c.scratch = e.AppendDistinctTips(c.scratch[:0])
 	c.snaps = append(c.snaps, Snapshot{Round: rec.Round, Tips: c.arenaCopy(c.scratch)})
+	c.foldPin(e.Tree(), c.snaps[len(c.snaps)-1].Tips)
+	if c.retain > 0 && len(c.snaps) > c.retain {
+		// Release the oldest samples. The slab memory behind them stays
+		// alive until its slab rotates out; with a bounded window both
+		// the snapshot slice and the slabs are bounded too.
+		c.snaps = c.snaps[len(c.snaps)-c.retain:]
+		c.refoldPin(e.Tree())
+	}
 }
 
 // arenaCopy copies ids into the checker-owned arena and returns the

@@ -49,6 +49,17 @@ type Sweep struct {
 	// FastForward enables each cell engine's event-driven round
 	// skipping (engine.Config.FastForward). It never affects results.
 	FastForward bool
+	// CompactEvery enables each cell engine's arena compaction
+	// (engine.Config.CompactEvery, 0 = off); CompactMinRetire is its
+	// minimum reclaimed ID span (0 = engine default). Bit-identical to
+	// running without compaction.
+	CompactEvery, CompactMinRetire int
+	// CheckerRetention bounds each cell checker's snapshot history
+	// (consistency.Checker.SetRetention, 0 = full run) — required for
+	// CompactEvery to reclaim memory. A bounded window changes which
+	// snapshot pairs the consistency scan sees, so it is part of the
+	// sweep's semantics, not a tuning knob.
+	CheckerRetention int
 }
 
 // validate rejects sweeps the coordinator cannot drive. Beyond the
@@ -127,6 +138,13 @@ type ShardSpec struct {
 	EngineShards int `json:"engine_shards,omitempty"`
 	// FastForward enables each cell engine's event-driven round skipping.
 	FastForward bool `json:"fast_forward,omitempty"`
+	// CompactEvery/CompactMinRetire/CheckerRetention mirror the parent
+	// Sweep's arena-compaction knobs (added in-place under the
+	// interchange's add-only rule: absent fields decode to 0 = off, so
+	// v1 specs from older coordinators run unchanged).
+	CompactEvery     int `json:"compact_every,omitempty"`
+	CompactMinRetire int `json:"compact_min_retire,omitempty"`
+	CheckerRetention int `json:"checker_retention,omitempty"`
 }
 
 // fullRange reports whether the shard covers its cells' entire
@@ -242,24 +260,27 @@ func Partition(s Sweep, shards int) []ShardSpec {
 			repLo := j * s.Replicates / repSplits
 			repHi := (j + 1) * s.Replicates / repSplits
 			specs = append(specs, ShardSpec{
-				V:            SpecVersion,
-				Shard:        id,
-				N:            s.N,
-				Delta:        s.Delta,
-				NuValues:     s.NuValues[nuLo:nuHi],
-				CValues:      s.CValues,
-				NuOffset:     nuLo,
-				Rounds:       s.Rounds,
-				Seed:         s.Seed,
-				T:            s.T,
-				SampleEvery:  s.SampleEvery,
-				Replicates:   s.Replicates,
-				RepLo:        repLo,
-				RepHi:        repHi,
-				Adversary:    s.Adversary,
-				ForkDepth:    s.ForkDepth,
-				EngineShards: s.EngineShards,
-				FastForward:  s.FastForward,
+				V:                SpecVersion,
+				Shard:            id,
+				N:                s.N,
+				Delta:            s.Delta,
+				NuValues:         s.NuValues[nuLo:nuHi],
+				CValues:          s.CValues,
+				NuOffset:         nuLo,
+				Rounds:           s.Rounds,
+				Seed:             s.Seed,
+				T:                s.T,
+				SampleEvery:      s.SampleEvery,
+				Replicates:       s.Replicates,
+				RepLo:            repLo,
+				RepHi:            repHi,
+				Adversary:        s.Adversary,
+				ForkDepth:        s.ForkDepth,
+				EngineShards:     s.EngineShards,
+				FastForward:      s.FastForward,
+				CompactEvery:     s.CompactEvery,
+				CompactMinRetire: s.CompactMinRetire,
+				CheckerRetention: s.CheckerRetention,
 			})
 			id++
 		}

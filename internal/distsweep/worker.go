@@ -99,21 +99,24 @@ func runShard(ctx context.Context, spec ShardSpec, opts WorkerOptions, enc *json
 		}
 	}
 	cfg := sweep.Config{
-		N:            spec.N,
-		Delta:        spec.Delta,
-		NuValues:     spec.NuValues,
-		CValues:      spec.CValues,
-		Rounds:       spec.Rounds,
-		Seed:         spec.Seed,
-		T:            spec.T,
-		SampleEvery:  spec.SampleEvery,
-		NewAdversary: factory,
-		Workers:      opts.Workers,
-		Shards:       spec.EngineShards,
-		FastForward:  spec.FastForward,
-		Pool:         opts.Pool,
-		CellOffset:   spec.NuOffset * len(spec.CValues),
-		RepOffset:    spec.RepLo,
+		N:                spec.N,
+		Delta:            spec.Delta,
+		NuValues:         spec.NuValues,
+		CValues:          spec.CValues,
+		Rounds:           spec.Rounds,
+		Seed:             spec.Seed,
+		T:                spec.T,
+		SampleEvery:      spec.SampleEvery,
+		NewAdversary:     factory,
+		Workers:          opts.Workers,
+		Shards:           spec.EngineShards,
+		FastForward:      spec.FastForward,
+		CompactEvery:     spec.CompactEvery,
+		CompactMinRetire: spec.CompactMinRetire,
+		CheckerRetention: spec.CheckerRetention,
+		Pool:             opts.Pool,
+		CellOffset:       spec.NuOffset * len(spec.CValues),
+		RepOffset:        spec.RepLo,
 	}
 	reps := spec.RepHi - spec.RepLo
 	// A failed record write means nobody is listening (the coordinator

@@ -137,6 +137,23 @@ type Config struct {
 	// outside the binomial inversion regime. TestGoldenTracesFastForward
 	// pins the equivalence on all golden configs.
 	FastForward bool
+	// CompactEvery, when > 0, enables epoch-based arena compaction: every
+	// CompactEvery rounds the engine computes the watermark — the common
+	// ancestor of every live honest view, every adversary- and
+	// observer-retained block, and every in-flight message — and retires
+	// all blocks strictly below it (see docs/memory.md for the invariant
+	// and its proof sketch). Compaction is pure representation: results
+	// are bit-identical with it on or off. It stands down for a round
+	// whenever safety cannot be established — the adversary does not
+	// implement Retainer, an observer's retention fold declines, or a
+	// watermark query touches already-retired history. Observers that
+	// hold BlockIDs across rounds must implement Retainer; observers that
+	// only consume RoundRecords need not.
+	CompactEvery int
+	// CompactMinRetire is the minimum ID span a compaction must retire to
+	// be worth the rebase (0 picks the 1024 default). Tests set 1 to
+	// force compaction on tiny trees.
+	CompactMinRetire int
 }
 
 // AutoShards, assigned to Config.Shards, selects the delivery-phase
@@ -282,6 +299,11 @@ type Engine struct {
 	// ff is the event-driven fast-forward state (Config.FastForward;
 	// see fastforward.go).
 	ff ffState
+	// nextCompact is the next round at or after which the compaction
+	// epoch fires (Config.CompactEvery); retainBuf is its reusable ID
+	// scratch (see compact.go).
+	nextCompact int
+	retainBuf   []blockchain.BlockID
 }
 
 // New validates cfg and builds an engine.
@@ -594,6 +616,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		e.acquirePool()
 	}
 	e.armFastForward()
+	e.nextCompact = e.cfg.CompactEvery
 	done := ctx.Done()
 	for e.round < e.cfg.Rounds {
 		if done != nil {
@@ -621,6 +644,12 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 					e.obs.OnRound(e, rec)
 				}
 			}
+		}
+		if err == nil && e.cfg.CompactEvery > 0 && e.round >= e.nextCompact {
+			// Between rounds: retire arena history no future query can
+			// reach. Representation-only — never visible in results.
+			err = e.maybeCompact()
+			e.nextCompact = e.round + e.cfg.CompactEvery
 		}
 		if err != nil {
 			// A failed round still yields the rounds executed before it,
@@ -726,20 +755,20 @@ func (e *Engine) step() (RoundRecord, error) {
 	e.ff.preH = -1
 	for _, i := range winners {
 		parent := e.tips[i]
-		b := &blockchain.Block{
+		b := blockchain.Block{
 			ID:     e.alloc.Next(),
 			Parent: parent,
 			Round:  t,
 			Miner:  i,
 			Honest: true,
 		}
-		if err := e.tree.Add(b); err != nil {
+		if err := e.tree.Add(&b); err != nil {
 			return RoundRecord{}, fmt.Errorf("engine: round %d honest add: %w", t, err)
 		}
 		e.setTip(i, b.ID, b.Height)
 		e.noteDeviant(i)
 		e.honestBlocks++
-		if err := e.net.Broadcast(network.Message{Block: b, From: i, SentRound: t}, t, policy); err != nil {
+		if err := e.net.Broadcast(network.Message{Block: network.AnnounceBlock(b), From: int32(i), SentRound: int32(t)}, t, policy); err != nil {
 			return RoundRecord{}, fmt.Errorf("engine: round %d broadcast: %w", t, err)
 		}
 	}
@@ -808,10 +837,11 @@ func (c *Context) BranchBest() (tips [2]blockchain.BlockID, heights [2]int) {
 }
 
 // MineBlock creates an adversarial block extending parent and records it
-// in the tree. The block is NOT announced; use Send/SendToAll to deliver
-// it (withholding is modeled by simply not sending).
-func (c *Context) MineBlock(parent blockchain.BlockID, payload string) (*blockchain.Block, error) {
-	b := &blockchain.Block{
+// in the tree, returning it by value. The block is NOT announced; use
+// Send/SendToAll to deliver it (withholding is modeled by simply not
+// sending).
+func (c *Context) MineBlock(parent blockchain.BlockID, payload string) (blockchain.Block, error) {
+	b := blockchain.Block{
 		ID:      c.e.alloc.Next(),
 		Parent:  parent,
 		Round:   c.e.round,
@@ -819,16 +849,16 @@ func (c *Context) MineBlock(parent blockchain.BlockID, payload string) (*blockch
 		Honest:  false,
 		Payload: payload,
 	}
-	if err := c.e.tree.Add(b); err != nil {
-		return nil, fmt.Errorf("engine: adversary mine: %w", err)
+	if err := c.e.tree.Add(&b); err != nil {
+		return blockchain.Block{}, fmt.Errorf("engine: adversary mine: %w", err)
 	}
 	return b, nil
 }
 
 // Send schedules b for delivery to honest player recipient at
 // deliverRound (at the earliest, next round).
-func (c *Context) Send(b *blockchain.Block, recipient, deliverRound int) error {
-	m := network.Message{Block: b, From: -1, SentRound: c.e.round}
+func (c *Context) Send(b blockchain.Block, recipient, deliverRound int) error {
+	m := network.Message{Block: network.AnnounceBlock(b), From: -1, SentRound: int32(c.e.round)}
 	return c.e.net.Send(m, recipient, deliverRound)
 }
 
@@ -837,8 +867,8 @@ func (c *Context) Send(b *blockchain.Block, recipient, deliverRound int) error {
 // the network can take one (it almost always can — see
 // Network.SendAll), with per-recipient delivery order and counters
 // identical to a Send loop over the player range.
-func (c *Context) SendToAll(b *blockchain.Block, deliverRound int) error {
-	m := network.Message{Block: b, From: -1, SentRound: c.e.round}
+func (c *Context) SendToAll(b blockchain.Block, deliverRound int) error {
+	m := network.Message{Block: network.AnnounceBlock(b), From: -1, SentRound: int32(c.e.round)}
 	return c.e.net.SendAll(m, deliverRound)
 }
 
@@ -862,6 +892,12 @@ func (PassiveAdversary) SkipSafe() bool { return true }
 // ObserveQuiet implements SpanQuiescent: there is no quiet-round state
 // to replay.
 func (PassiveAdversary) ObserveQuiet(*Context, int, int) {}
+
+// AppendRetained implements Retainer: the passive strategy keeps no
+// block references across rounds, so compaction is always safe.
+func (PassiveAdversary) AppendRetained(buf []blockchain.BlockID) ([]blockchain.BlockID, bool) {
+	return buf, true
+}
 
 // Mine implements Adversary: extend the longest chain, publish at once.
 func (PassiveAdversary) Mine(ctx *Context, mined int) {

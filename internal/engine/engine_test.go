@@ -255,7 +255,7 @@ func TestPlayerTipValidation(t *testing.T) {
 type recordingAdversary struct {
 	minedTotal int
 	rounds     int
-	released   *blockchain.Block
+	released   blockchain.BlockID
 }
 
 func (a *recordingAdversary) Name() string { return "recording" }
@@ -267,12 +267,12 @@ func (a *recordingAdversary) HonestDelayPolicy(ctx *Context) network.DelayPolicy
 func (a *recordingAdversary) Mine(ctx *Context, mined int) {
 	a.rounds++
 	a.minedTotal += mined
-	if mined > 0 && a.released == nil {
+	if mined > 0 && a.released == 0 {
 		b, err := ctx.MineBlock(blockchain.GenesisID, "attack")
 		if err != nil {
 			panic(err)
 		}
-		a.released = b
+		a.released = b.ID
 		if err := ctx.SendToAll(b, ctx.Round()+5); err != nil {
 			panic(err)
 		}
@@ -295,10 +295,10 @@ func TestCustomAdversaryDrivesContext(t *testing.T) {
 	if adv.minedTotal != res.AdversaryBlocks {
 		t.Errorf("strategy saw %d mined, engine counted %d", adv.minedTotal, res.AdversaryBlocks)
 	}
-	if adv.released == nil {
+	if adv.released == 0 {
 		t.Fatal("adversary never mined in 4000 rounds — p too low?")
 	}
-	if b, ok := res.Tree.Get(adv.released.ID); !ok || b.Honest {
+	if b, ok := res.Tree.Get(adv.released); !ok || b.Honest {
 		t.Error("adversary block missing from tree or mis-flagged")
 	}
 }

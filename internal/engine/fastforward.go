@@ -288,14 +288,14 @@ func (e *Engine) flashDeliver(t int) error {
 	// Mirror deliverRange's tree-membership check: a strategy sending
 	// an unregistered block must surface as the same error.
 	for _, m := range msgs {
-		if _, ok := e.tree.Get(m.Block.ID); !ok {
+		if !e.tree.Has(m.Block.ID) {
 			return fmt.Errorf("engine: round %d adopt: %w %d", t, blockchain.ErrUnknownBlock, m.Block.ID)
 		}
 	}
 	newTip, newH := e.ff.majTip, e.ff.majH
 	for _, m := range msgs {
-		if m.Block.Height > newH {
-			newTip, newH = m.Block.ID, m.Block.Height
+		if int(m.Block.Height) > newH {
+			newTip, newH = m.Block.ID, int(m.Block.Height)
 		}
 	}
 	if newH == e.ff.majH {

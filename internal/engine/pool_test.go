@@ -29,7 +29,7 @@ func (r rogueSender) Mine(ctx *Context, _ int) {
 		return
 	}
 	for k, rec := range r.recipients {
-		rogue := &blockchain.Block{
+		rogue := blockchain.Block{
 			ID:     blockchain.BlockID(900000 + k),
 			Parent: blockchain.GenesisID,
 			Height: 50, // tall enough that every view would adopt it

@@ -221,11 +221,11 @@ func (e *Engine) deliverRange(s *shardStat, round int) error {
 			// Every delivered block must be in the global tree (an O(1)
 			// arena probe); a strategy Sending an unregistered block is a
 			// bug that must surface, not be silently out-adopted.
-			if _, ok := e.tree.Get(m.Block.ID); !ok {
+			if !e.tree.Has(m.Block.ID) {
 				return fmt.Errorf("engine: round %d adopt: %w %d", round, blockchain.ErrUnknownBlock, m.Block.ID)
 			}
-			if m.Block.Height > e.tipHeights[i] {
-				e.setTip(i, m.Block.ID, m.Block.Height)
+			if int(m.Block.Height) > e.tipHeights[i] {
+				e.setTip(i, m.Block.ID, int(m.Block.Height))
 			}
 		}
 	}

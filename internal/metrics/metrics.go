@@ -42,31 +42,42 @@ func MinWindowGrowth(records []engine.RoundRecord, window int) (int, error) {
 }
 
 // ChainQuality returns the fraction of honest blocks among the last k
-// blocks of the chain ending at tip (excluding genesis). k larger than the
-// chain is truncated to the whole chain.
+// blocks of the chain ending at tip (excluding genesis). k larger than
+// the chain is truncated to the whole chain. The k ≤ 0 (whole-chain)
+// form reads the tree's spine counters, so it stays exact after arena
+// compaction; the last-k form walks stored blocks and reports
+// blockchain.ErrCompacted when the window reaches below the arena
+// floor.
 func ChainQuality(tree *blockchain.Tree, tip blockchain.BlockID, k int) (float64, error) {
-	chain, err := tree.Chain(tip)
-	if err != nil {
-		return 0, fmt.Errorf("metrics: %w", err)
+	if k <= 0 {
+		blocks, honest, err := tree.ChainStats(tip)
+		if err != nil {
+			return 0, fmt.Errorf("metrics: %w", err)
+		}
+		if blocks == 0 {
+			return 1, nil // empty chain: vacuously all honest
+		}
+		return float64(honest) / float64(blocks), nil
 	}
-	if len(chain) <= 1 {
-		return 1, nil // empty chain: vacuously all honest
-	}
-	blocks := chain[1:] // skip genesis
-	if k > 0 && k < len(blocks) {
-		blocks = blocks[len(blocks)-k:]
-	}
-	honest := 0
-	for _, id := range blocks {
+	honest, n := 0, 0
+	for id := tip; n < k && id != blockchain.GenesisID; {
 		b, ok := tree.Get(id)
 		if !ok {
+			if id < tree.Base() {
+				return 0, fmt.Errorf("metrics: %w: block %d", blockchain.ErrCompacted, id)
+			}
 			return 0, fmt.Errorf("metrics: %w: %d", blockchain.ErrUnknownBlock, id)
 		}
 		if b.Honest {
 			honest++
 		}
+		n++
+		id = b.Parent
 	}
-	return float64(honest) / float64(len(blocks)), nil
+	if n == 0 {
+		return 1, nil // genesis tip: vacuously all honest
+	}
+	return float64(honest) / float64(n), nil
 }
 
 // ForkStats summarizes the shape of the block tree.
@@ -74,7 +85,9 @@ type ForkStats struct {
 	// Blocks is the total number of non-genesis blocks.
 	Blocks int
 	// ForkPoints is the number of blocks (incl. genesis) with ≥ 2
-	// children.
+	// children. After arena compaction only retained blocks are
+	// scanned; retired fork points (all strictly below the common
+	// ancestor of every live tip) are not counted.
 	ForkPoints int
 	// MaxHeight is the height of the tallest block.
 	MaxHeight int
@@ -94,7 +107,7 @@ func ComputeForkStats(tree *blockchain.Tree) ForkStats {
 		Blocks:    tree.Len() - 1,
 		MaxHeight: tree.MaxHeight(),
 	}
-	for id := 0; id < tree.ArenaLen(); id++ {
+	for id := int(tree.Base()); id < tree.ArenaLen(); id++ {
 		if _, ok := tree.Get(blockchain.BlockID(id)); !ok {
 			continue
 		}

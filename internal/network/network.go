@@ -29,14 +29,37 @@ import (
 	"neatbound/internal/pool"
 )
 
+// Announce is the on-wire form of a block announcement. Delivery and
+// longest-chain adoption only ever read the ID and the height — the
+// block body lives in the shared tree — so the ring carries 16 bytes
+// per message instead of a full Block record (the uniform-broadcast
+// expansion at large n copies one Message per recipient, so wire size
+// is a first-order memory cost).
+type Announce struct {
+	// ID identifies the announced block. The zero ID (GenesisID) is
+	// invalid: genesis is never announced.
+	ID blockchain.BlockID
+	// Height is the announced block's height, which is all adoption
+	// needs to compare chains. int32 (like the arena's height column)
+	// packs Message to 24 bytes.
+	Height int32
+}
+
+// AnnounceBlock is the Announce for a mined block.
+func AnnounceBlock(b blockchain.Block) Announce {
+	return Announce{ID: b.ID, Height: int32(b.Height)}
+}
+
 // Message is a block announcement in transit.
 type Message struct {
-	// Block is the announced block.
-	Block *blockchain.Block
-	// From is the index of the sending player.
-	From int
-	// SentRound is the round the message entered the network.
-	SentRound int
+	// Block is the announced block's wire form.
+	Block Announce
+	// From is the index of the sending player. int32 keeps the wire
+	// struct at 24 bytes; player counts are bounded well below 2³¹.
+	From int32
+	// SentRound is the round the message entered the network, int32 for
+	// the same packing reason (round columns are int32 throughout).
+	SentRound int32
 }
 
 // messageLess orders messages by (sent round, block ID, sender) — the
@@ -103,7 +126,7 @@ type RecipientInvariant interface {
 type MinDelay struct{}
 
 // DeliveryRound implements DelayPolicy.
-func (MinDelay) DeliveryRound(m Message, _ int) int { return m.SentRound + 1 }
+func (MinDelay) DeliveryRound(m Message, _ int) int { return int(m.SentRound) + 1 }
 
 // ParallelSafe implements the marker interface.
 func (MinDelay) ParallelSafe() {}
@@ -121,7 +144,7 @@ type MaxDelay struct {
 }
 
 // DeliveryRound implements DelayPolicy.
-func (d MaxDelay) DeliveryRound(m Message, _ int) int { return m.SentRound + d.Delta }
+func (d MaxDelay) DeliveryRound(m Message, _ int) int { return int(m.SentRound) + d.Delta }
 
 // ParallelSafe implements the marker interface.
 func (MaxDelay) ParallelSafe() {}
@@ -151,7 +174,7 @@ func (d HashedDelay) DeliveryRound(m Message, recipient int) int {
 	if span == 0 {
 		span = 1
 	}
-	return m.SentRound + 1 + int(h%span)
+	return int(m.SentRound) + 1 + int(h%span)
 }
 
 // ParallelSafe implements the marker interface.
@@ -185,6 +208,14 @@ type slot struct {
 	// delivery cursor per round (disjoint recipient ranges), so the
 	// sharded drain stays race-free.
 	drainedStamp []int
+}
+
+// pendingBlock records one block that entered the fabric and may still
+// be undelivered at rounds ≤ until. The engine's compaction watermark
+// folds over these so no in-flight announcement ever names a retired ID.
+type pendingBlock struct {
+	id    blockchain.BlockID
+	until int
 }
 
 // Network is the round-based Δ-delay message fabric. It is not safe for
@@ -223,6 +254,11 @@ type Network struct {
 	bcastPer    int
 	// pending counts undelivered messages, for invariant checks.
 	pending int
+	// pendingBlocks tracks the distinct blocks recently handed to the
+	// fabric, with a conservative last-delivery round each; see
+	// AppendInFlight. Self-pruning (notePending) bounds its growth even
+	// when no one ever drains it.
+	pendingBlocks []pendingBlock
 	// stats
 	sent      int
 	delivered int
@@ -283,11 +319,20 @@ func (n *Network) clampDelivery(sent, round int) int {
 }
 
 // recycleSlot repurposes a fully drained slot for round r, keeping its
-// buffers. The caller has checked s.pending == 0.
+// buffers. The caller has checked s.pending == 0. Per-recipient buffers
+// stay lazy: a slot that only ever carries uniform entries (the large-n
+// fast-forward regime) never pays the O(players) byRecipient array —
+// the dominant allocation of pre-arena large-n runs.
 func (n *Network) recycleSlot(s *slot, r int) {
 	s.round = r
 	s.uniform = s.uniform[:0]
 	s.uniformPending = 0
+}
+
+// ensureByRecipient allocates the slot's per-recipient buffers on first
+// per-recipient use. Serial call sites only — the sharded window
+// allocates in BeginRound, never from a worker.
+func (n *Network) ensureByRecipient(s *slot) {
 	if s.byRecipient == nil {
 		s.byRecipient = make([][]Message, n.players)
 	}
@@ -313,10 +358,50 @@ func (n *Network) enqueue(m Message, recipient, r int) {
 			return
 		}
 	}
+	n.ensureByRecipient(s)
 	s.byRecipient[recipient] = append(s.byRecipient[recipient], m)
 	s.pending++
 	n.pending++
 	n.sent++
+}
+
+// notePending records that block id may be undelivered through round
+// until (now is the sending round). Consecutive sends of the same block
+// merge; at capacity the expired prefix is pruned in place, so the
+// tracker stays bounded even when compaction never drains it.
+func (n *Network) notePending(id blockchain.BlockID, until, now int) {
+	if k := len(n.pendingBlocks); k > 0 && n.pendingBlocks[k-1].id == id {
+		if until > n.pendingBlocks[k-1].until {
+			n.pendingBlocks[k-1].until = until
+		}
+		return
+	}
+	if len(n.pendingBlocks) >= 1024 && len(n.pendingBlocks) == cap(n.pendingBlocks) {
+		kept := n.pendingBlocks[:0]
+		for _, pb := range n.pendingBlocks {
+			if pb.until >= now {
+				kept = append(kept, pb)
+			}
+		}
+		n.pendingBlocks = kept
+	}
+	n.pendingBlocks = append(n.pendingBlocks, pendingBlock{id: id, until: until})
+}
+
+// AppendInFlight appends the ID of every block that may still be
+// undelivered at round to buf and returns it, pruning expired entries as
+// a side effect. The engine folds these into the compaction watermark so
+// a rebase can never strand a message naming a retired block.
+func (n *Network) AppendInFlight(buf []blockchain.BlockID, round int) []blockchain.BlockID {
+	kept := n.pendingBlocks[:0]
+	for _, pb := range n.pendingBlocks {
+		if pb.until >= round {
+			kept = append(kept, pb)
+			buf = append(buf, pb.id)
+		}
+	}
+	n.pendingBlocks = kept
+	return buf
 }
 
 // enqueueUniform schedules m for every player — except m.From when it
@@ -333,7 +418,7 @@ func (n *Network) enqueueUniform(m Message, r int) bool {
 		n.recycleSlot(s, r)
 	}
 	fanout := n.players
-	if m.From >= 0 && m.From < n.players {
+	if m.From >= 0 && int(m.From) < n.players {
 		fanout--
 	}
 	if fanout > 0 {
@@ -353,18 +438,20 @@ func (n *Network) enqueueUniform(m Message, r int) bool {
 // chosen by policy (clamped into [sent+1, sent+Δ]). m.SentRound must equal
 // the current round, enforced by the caller passing round.
 func (n *Network) Broadcast(m Message, round int, policy DelayPolicy) error {
-	if m.Block == nil {
-		return fmt.Errorf("network: broadcast of nil block")
+	if m.Block.ID == blockchain.GenesisID {
+		return fmt.Errorf("network: broadcast of empty block")
 	}
-	if m.SentRound != round {
+	if int(m.SentRound) != round {
 		return fmt.Errorf("network: message stamped round %d broadcast at round %d", m.SentRound, round)
 	}
+	// Honest deliveries land within [sent+1, sent+Δ] no matter the policy.
+	n.notePending(m.Block.ID, int(m.SentRound)+n.delta, int(m.SentRound))
 	if _, ok := policy.(RecipientInvariant); ok {
 		// One delivery round for every recipient: a single uniform slot
 		// entry replaces the per-recipient fan-out, with identical drain
 		// results (same messages, same deterministic order, same
 		// counters).
-		r := n.clampDelivery(m.SentRound, policy.DeliveryRound(m, -1))
+		r := n.clampDelivery(int(m.SentRound), policy.DeliveryRound(m, -1))
 		if n.enqueueUniform(m, r) {
 			return nil
 		}
@@ -375,10 +462,10 @@ func (n *Network) Broadcast(m Message, round int, policy DelayPolicy) error {
 		return nil
 	}
 	for r := 0; r < n.players; r++ {
-		if r == m.From {
+		if r == int(m.From) {
 			continue
 		}
-		n.enqueue(m, r, n.clampDelivery(m.SentRound, policy.DeliveryRound(m, r)))
+		n.enqueue(m, r, n.clampDelivery(int(m.SentRound), policy.DeliveryRound(m, r)))
 	}
 	return nil
 }
@@ -402,7 +489,7 @@ type spillRef struct {
 // ring position still holds an undrained far-future round — fall back to
 // the serial enqueue path and its overflow map.
 func (n *Network) broadcastParallel(m Message, policy DelayPolicy) {
-	sent := m.SentRound
+	sent := int(m.SentRound)
 	nslots := len(n.ring)
 	// Claim the ring slot of every legal delivery round (serial): a slot
 	// is claimable when it already represents the round or is drained.
@@ -421,6 +508,11 @@ func (n *Network) broadcastParallel(m Message, policy DelayPolicy) {
 			claimed[d] = true
 		default:
 			claimed[d] = false
+		}
+		if claimed[d] {
+			// Workers append into per-recipient buffers; allocate them here
+			// on the serial side of the fan-out.
+			n.ensureByRecipient(s)
 		}
 	}
 	if n.pool == nil {
@@ -471,7 +563,7 @@ func (n *Network) broadcastParallel(m Message, policy DelayPolicy) {
 // contiguous chunk of the player range.
 func (n *Network) broadcastTask(task int) {
 	m, policy := n.bcastMsg, n.bcastPolicy
-	sent := m.SentRound
+	sent := int(m.SentRound)
 	nslots := len(n.ring)
 	claimed := n.bcastClaim[:n.delta]
 	lo, hi := task*n.bcastPer, (task+1)*n.bcastPer
@@ -481,7 +573,7 @@ func (n *Network) broadcastTask(task int) {
 	myCounts := n.bcastCounts[task*n.delta : (task+1)*n.delta]
 	spill := n.bcastSpill[task][:0]
 	for r := lo; r < hi; r++ {
-		if r == m.From {
+		if r == int(m.From) {
 			continue
 		}
 		dr := n.clampDelivery(sent, policy.DeliveryRound(m, r))
@@ -501,15 +593,16 @@ func (n *Network) broadcastTask(task int) {
 // adversary's unconstrained channel: the only restriction is that delivery
 // cannot happen before the next round.
 func (n *Network) Send(m Message, recipient, deliverRound int) error {
-	if m.Block == nil {
-		return fmt.Errorf("network: send of nil block")
+	if m.Block.ID == blockchain.GenesisID {
+		return fmt.Errorf("network: send of empty block")
 	}
 	if recipient < 0 || recipient >= n.players {
 		return fmt.Errorf("network: recipient %d outside [0, %d)", recipient, n.players)
 	}
-	if deliverRound <= m.SentRound {
-		deliverRound = m.SentRound + 1
+	if deliverRound <= int(m.SentRound) {
+		deliverRound = int(m.SentRound) + 1
 	}
+	n.notePending(m.Block.ID, deliverRound, int(m.SentRound))
 	n.enqueue(m, recipient, deliverRound)
 	return nil
 }
@@ -522,13 +615,14 @@ func (n *Network) Send(m Message, recipient, deliverRound int) error {
 // held by an undrained other round, it falls back to per-recipient
 // sends.
 func (n *Network) SendAll(m Message, deliverRound int) error {
-	if m.Block == nil {
-		return fmt.Errorf("network: send of nil block")
+	if m.Block.ID == blockchain.GenesisID {
+		return fmt.Errorf("network: send of empty block")
 	}
-	if deliverRound <= m.SentRound {
-		deliverRound = m.SentRound + 1
+	if deliverRound <= int(m.SentRound) {
+		deliverRound = int(m.SentRound) + 1
 	}
-	if m.From < 0 || m.From >= n.players {
+	n.notePending(m.Block.ID, deliverRound, int(m.SentRound))
+	if m.From < 0 || int(m.From) >= n.players {
 		if n.enqueueUniform(m, deliverRound) {
 			return nil
 		}
@@ -553,12 +647,20 @@ func (n *Network) DeliverTo(recipient, round int) []Message {
 	ringCount, uniCount := 0, 0
 	s := &n.ring[round%len(n.ring)]
 	if s.round == round {
-		msgs = s.byRecipient[recipient]
-		ringCount = len(msgs)
+		if s.pending > 0 {
+			// Lazy per-recipient buffers: first per-recipient drain of a
+			// slot that was filled through the uniform path allocates them
+			// here (serial), so the buffer hand-back below keeps working.
+			n.ensureByRecipient(s)
+		}
+		if s.byRecipient != nil {
+			msgs = s.byRecipient[recipient]
+			ringCount = len(msgs)
+		}
 		if s.uniformPending > 0 && s.drainedStamp[recipient] != round {
 			s.drainedStamp[recipient] = round
 			for _, um := range s.uniform {
-				if um.From == recipient {
+				if int(um.From) == recipient {
 					continue
 				}
 				msgs = append(msgs, um)
@@ -581,8 +683,10 @@ func (n *Network) DeliverTo(recipient, round int) []Message {
 	}
 	sortDeliveryOrder(msgs)
 	if s.round == round {
-		// Hand the (possibly grown) buffer back to the slot for reuse.
-		s.byRecipient[recipient] = msgs[:0]
+		if s.byRecipient != nil {
+			// Hand the (possibly grown) buffer back to the slot for reuse.
+			s.byRecipient[recipient] = msgs[:0]
+		}
 		s.pending -= ringCount + uniCount
 		s.uniformPending -= uniCount
 	}

@@ -7,8 +7,8 @@ import (
 	"neatbound/internal/blockchain"
 )
 
-func blk(id blockchain.BlockID) *blockchain.Block {
-	return &blockchain.Block{ID: id, Parent: blockchain.GenesisID, Height: 1}
+func blk(id blockchain.BlockID) Announce {
+	return Announce{ID: id, Height: 1}
 }
 
 func TestNewValidation(t *testing.T) {
@@ -89,7 +89,7 @@ func TestMaxDelayDeliversAtDelta(t *testing.T) {
 // adversarialPolicy tries to exceed the Δ bound and deliver into the past.
 type adversarialPolicy struct{ offset int }
 
-func (p adversarialPolicy) DeliveryRound(m Message, _ int) int { return m.SentRound + p.offset }
+func (p adversarialPolicy) DeliveryRound(m Message, _ int) int { return int(m.SentRound) + p.offset }
 
 func TestClampEnforcesDeltaGuarantee(t *testing.T) {
 	n, _ := New(2, 3)
@@ -189,7 +189,7 @@ func TestDeliveryOrderDeterministic(t *testing.T) {
 		id   blockchain.BlockID
 		sent int
 	}{{5, 2}, {3, 1}, {4, 1}} {
-		m := Message{Block: blk(tc.id), From: 0, SentRound: tc.sent}
+		m := Message{Block: blk(tc.id), From: 0, SentRound: int32(tc.sent)}
 		if err := n.Send(m, 1, 6); err != nil {
 			t.Fatal(err)
 		}
@@ -239,7 +239,7 @@ func TestQuickDeliveryWithinDelta(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		m := Message{Block: blk(1), From: 0, SentRound: sent}
+		m := Message{Block: blk(1), From: 0, SentRound: int32(sent)}
 		if err := n.Broadcast(m, sent, adversarialPolicy{offset: int(offsetRaw)}); err != nil {
 			return false
 		}
@@ -288,7 +288,7 @@ func BenchmarkNetworkFanout(b *testing.B) {
 	b.Run("parallel-8192", func(b *testing.B) {
 		n, _ := New(players, 8)
 		for i := 0; i < b.N; i++ {
-			m := Message{Block: blk(blockchain.BlockID(i + 1)), From: 0, SentRound: i}
+			m := Message{Block: blk(blockchain.BlockID(i + 1)), From: 0, SentRound: int32(i)}
 			if err := n.Broadcast(m, i, policy); err != nil {
 				b.Fatal(err)
 			}
@@ -297,7 +297,7 @@ func BenchmarkNetworkFanout(b *testing.B) {
 	b.Run("sequential-2048", func(b *testing.B) {
 		n, _ := New(2048, 8) // below threshold: sequential path
 		for i := 0; i < b.N; i++ {
-			m := Message{Block: blk(blockchain.BlockID(i + 1)), From: 0, SentRound: i}
+			m := Message{Block: blk(blockchain.BlockID(i + 1)), From: 0, SentRound: int32(i)}
 			if err := n.Broadcast(m, i, policy); err != nil {
 				b.Fatal(err)
 			}

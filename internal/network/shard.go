@@ -50,6 +50,12 @@ func (n *Network) Cursor(round int) ShardCursor {
 // cursors may consume (each recipient's slot is read and nilled by
 // exactly one cursor, so no synchronization is needed).
 func (n *Network) BeginRound(round int) {
+	// Cursors run on workers and must not allocate shared slot state:
+	// materialize the round's lazy per-recipient buffers here, on the
+	// serial side of the window.
+	if s := &n.ring[round%len(n.ring)]; s.round == round && s.pending > 0 {
+		n.ensureByRecipient(s)
+	}
 	byRecipient, ok := n.overflow[round]
 	if !ok {
 		return
@@ -73,7 +79,7 @@ func (c *ShardCursor) Deliver(recipient int) []Message {
 	var msgs []Message
 	ringCount, uniCount := 0, 0
 	s := &n.ring[c.round%len(n.ring)]
-	owned := s.round == c.round
+	owned := s.round == c.round && s.byRecipient != nil
 	if owned {
 		msgs = s.byRecipient[recipient]
 		ringCount = len(msgs)
@@ -83,7 +89,7 @@ func (c *ShardCursor) Deliver(recipient int) []Message {
 		if s.uniformPending > 0 && s.drainedStamp[recipient] != c.round {
 			s.drainedStamp[recipient] = c.round
 			for _, um := range s.uniform {
-				if um.From == recipient {
+				if int(um.From) == recipient {
 					continue
 				}
 				msgs = append(msgs, um)

@@ -25,14 +25,14 @@ func twinNetworks(t *testing.T, players, delta int) (*Network, *Network) {
 		id = 1
 		for round := 1; round <= 3; round++ {
 			for from := 0; from < players; from += 3 {
-				m := Message{Block: &blockchain.Block{ID: id, Height: round}, From: from, SentRound: round}
+				m := Message{Block: Announce{ID: id, Height: int32(round)}, From: int32(from), SentRound: int32(round)}
 				if err := n.Broadcast(m, round, HashedDelay{Delta: delta, Seed: 7}); err != nil {
 					t.Fatal(err)
 				}
 				id++
 			}
 			// Withheld blocks scheduled far beyond the ring horizon.
-			m := Message{Block: &blockchain.Block{ID: id, Height: round}, From: -1, SentRound: round}
+			m := Message{Block: Announce{ID: id, Height: int32(round)}, From: -1, SentRound: int32(round)}
 			for r := 0; r < players; r += 2 {
 				if err := n.Send(m, r, round+delta+5); err != nil {
 					t.Fatal(err)
@@ -110,7 +110,7 @@ func TestShardWindowRefilesUnconsumedSpill(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := Message{Block: &blockchain.Block{ID: 9, Height: 1}, From: -1, SentRound: 1}
+	m := Message{Block: Announce{ID: 9, Height: 1}, From: -1, SentRound: 1}
 	const target = 10 // far beyond the ring
 	if err := n.Send(m, 3, target); err != nil {
 		t.Fatal(err)

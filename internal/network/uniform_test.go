@@ -6,8 +6,8 @@ import (
 	"neatbound/internal/blockchain"
 )
 
-func blkAt(id blockchain.BlockID, h int) *blockchain.Block {
-	return &blockchain.Block{ID: id, Parent: blockchain.GenesisID, Height: h}
+func blkAt(id blockchain.BlockID, h int) Announce {
+	return Announce{ID: id, Height: int32(h)}
 }
 
 // TestSendAllMatchesSendLoop pins SendAll's contract: identical

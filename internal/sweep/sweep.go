@@ -82,6 +82,22 @@ type Config struct {
 	// skipping (engine.Config.FastForward). Bit-identical to stepping;
 	// pays off in sparse-mining cells and falls back silently elsewhere.
 	FastForward bool
+	// CompactEvery enables each cell engine's arena compaction
+	// (engine.Config.CompactEvery): every CompactEvery rounds, blocks
+	// below the retention watermark are retired, bounding resident
+	// memory on long cells. 0 (the default) disables compaction.
+	// Bit-identical to running without it.
+	CompactEvery int
+	// CompactMinRetire is the minimum ID span an epoch must retire
+	// (engine.Config.CompactMinRetire); 0 picks the engine default.
+	CompactMinRetire int
+	// CheckerRetention bounds each cell checker's snapshot history to
+	// the most recent CheckerRetention samples
+	// (consistency.Checker.SetRetention): required for compaction to
+	// make progress — a full-history checker pins the watermark near
+	// genesis — at the cost of evaluating Definition 1 over the
+	// retained window only. 0 (the default) keeps the whole run.
+	CheckerRetention int
 	// Pool is the persistent worker pool every cell shares — sharded
 	// cell engines, their network fan-outs, and the consistency
 	// checkers' pairwise scans all take turns on its workers instead of
@@ -263,19 +279,22 @@ func runCell(ctx context.Context, cfg Config, nu, c float64, seed uint64, sample
 		return cell
 	}
 	checker.UsePool(cfg.Pool)
+	checker.SetRetention(cfg.CheckerRetention)
 	var adv engine.Adversary
 	if cfg.NewAdversary != nil {
 		adv = cfg.NewAdversary()
 	}
 	e, err := engine.New(engine.Config{
-		Params:      pr,
-		Rounds:      cfg.Rounds,
-		Seed:        seed,
-		Adversary:   adv,
-		Observer:    checker,
-		Shards:      cfg.Shards,
-		Pool:        cfg.Pool,
-		FastForward: cfg.FastForward,
+		Params:           pr,
+		Rounds:           cfg.Rounds,
+		Seed:             seed,
+		Adversary:        adv,
+		Observer:         checker,
+		Shards:           cfg.Shards,
+		Pool:             cfg.Pool,
+		FastForward:      cfg.FastForward,
+		CompactEvery:     cfg.CompactEvery,
+		CompactMinRetire: cfg.CompactMinRetire,
 	})
 	if err != nil {
 		cell.Err = err

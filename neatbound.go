@@ -199,6 +199,20 @@ type SimulationConfig struct {
 	// engine.Config.FastForward); bit-identical to stepping, it pays off
 	// in sparse-mining regimes and falls back silently elsewhere.
 	FastForward bool
+	// CompactEvery enables epoch-based arena compaction (see
+	// engine.Config.CompactEvery and WithCompaction): every CompactEvery
+	// rounds, blocks below the retention watermark are retired, bounding
+	// resident memory on long runs. 0 disables. Bit-identical to running
+	// without it.
+	CompactEvery int
+	// CompactMinRetire is the minimum ID span a compaction epoch must
+	// reclaim to run (0 picks the engine default; see WithCompaction).
+	CompactMinRetire int
+	// CheckerRetention bounds the consistency checker's snapshot history
+	// to the most recent CheckerRetention samples (0 keeps the whole
+	// run; see WithCheckerRetention). Required for CompactEvery to make
+	// progress — a full-history checker pins the watermark near genesis.
+	CheckerRetention int
 }
 
 // SimulationReport summarizes an executed run.
@@ -230,6 +244,11 @@ type SimulationReport struct {
 	ChainQuality float64
 	// MainChainShare is the fraction of mined blocks on the main chain.
 	MainChainShare float64
+	// TotalBlocks counts every block ever added to the tree (genesis
+	// excluded); LiveBlocks counts the blocks still resident in the
+	// arena at the end of the run — equal to TotalBlocks+1 unless arena
+	// compaction (WithCompaction) retired history.
+	TotalBlocks, LiveBlocks int
 }
 
 // Simulate runs the protocol under cfg and returns the full consistency
@@ -253,6 +272,12 @@ func Simulate(cfg SimulationConfig) (SimulationReport, error) {
 	}
 	if cfg.FastForward {
 		opts = append(opts, WithFastForward())
+	}
+	if cfg.CompactEvery > 0 {
+		opts = append(opts, WithCompaction(cfg.CompactEvery, cfg.CompactMinRetire))
+	}
+	if cfg.CheckerRetention > 0 {
+		opts = append(opts, WithCheckerRetention(cfg.CheckerRetention))
 	}
 	if cfg.Adversary != nil {
 		opts = append(opts, WithAdversary(cfg.Adversary))

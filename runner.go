@@ -102,6 +102,9 @@ type runOptions struct {
 	traceW        io.Writer
 	nuSchedule    func(round int) float64
 	fastForward   bool
+	compactEvery  int
+	compactMin    int
+	checkerRetain int
 	replicates    int
 	workers       int
 	onCell        func(AggregateCell)
@@ -249,6 +252,35 @@ func WithFastForward() Option {
 		apply: func(o *runOptions) { o.fastForward = true }}
 }
 
+// WithCompaction enables the engine's epoch-based arena compaction
+// (engine.Config.CompactEvery): every `every` rounds the engine retires
+// all blocks strictly below the retention watermark — the common
+// ancestor of every live honest view, every adversary- and
+// observer-retained block, and every in-flight message — bounding
+// resident memory on long runs instead of growing with every block
+// ever mined. minRetire is the minimum ID span an epoch must reclaim
+// to pay for the rebase (0 picks the engine default). Compaction is
+// bit-identical to running without it; see docs/memory.md.
+//
+// The built-in consistency checker retains its full snapshot history by
+// default, which pins the watermark near genesis and keeps compaction
+// inert — combine with WithCheckerRetention to let the watermark
+// advance.
+func WithCompaction(every, minRetire int) Option {
+	return Option{name: "WithCompaction", scope: scopeRun | scopeSweep | scopeDist,
+		apply: func(o *runOptions) { o.compactEvery, o.compactMin = every, minRetire }}
+}
+
+// WithCheckerRetention bounds the consistency checker's snapshot
+// history to the most recent keep samples
+// (consistency.Checker.SetRetention); 0, the default, retains the whole
+// run. A bounded window is what lets WithCompaction reclaim memory, at
+// the cost of evaluating Definition 1 over the retained window only.
+func WithCheckerRetention(keep int) Option {
+	return Option{name: "WithCheckerRetention", scope: scopeRun | scopeSweep | scopeDist,
+		apply: func(o *runOptions) { o.checkerRetain = keep }}
+}
+
 // WithReplicates runs every sweep cell r times with independent seeds
 // and aggregates (default 1). RunSweep and RunSweepDistributed.
 func WithReplicates(r int) Option {
@@ -327,6 +359,7 @@ func Run(ctx context.Context, pr Params, opts ...Option) (*RunReport, error) {
 	// The post-run pairwise consistency scan shares the same persistent
 	// worker pool the engine's delivery phase and broadcast fan-out use.
 	checker.UsePool(pool.Default())
+	checker.SetRetention(o.checkerRetain)
 	ledger, err := consistency.NewLedgerRecorder(pr.Delta)
 	if err != nil {
 		return nil, err
@@ -350,14 +383,16 @@ func Run(ctx context.Context, pr Params, opts ...Option) (*RunReport, error) {
 	}
 	stack = append(stack, o.observers...)
 	e, err := engine.New(engine.Config{
-		Params:      pr,
-		Rounds:      o.rounds,
-		Seed:        o.seed,
-		Adversary:   adv,
-		Observer:    engine.Observers(stack...),
-		NuSchedule:  o.nuSchedule,
-		Shards:      o.shards,
-		FastForward: o.fastForward,
+		Params:           pr,
+		Rounds:           o.rounds,
+		Seed:             o.seed,
+		Adversary:        adv,
+		Observer:         engine.Observers(stack...),
+		NuSchedule:       o.nuSchedule,
+		Shards:           o.shards,
+		FastForward:      o.fastForward,
+		CompactEvery:     o.compactEvery,
+		CompactMinRetire: o.compactMin,
 	})
 	if err != nil {
 		return nil, err
@@ -406,6 +441,8 @@ func assembleReport(pr Params, res *engine.Result, checker *consistency.Checker,
 			ChainGrowthRate:      metrics.ChainGrowthRate(res.Records),
 			ChainQuality:         quality,
 			MainChainShare:       metrics.MainChainShare(tree),
+			TotalBlocks:          tree.Len() - 1,
+			LiveBlocks:           tree.LiveBlocks(),
 		},
 		Partial:        res.Partial,
 		RoundsExecuted: len(res.Records),
@@ -458,18 +495,21 @@ func RunSweep(ctx context.Context, grid SweepGrid, opts ...Option) ([]AggregateC
 		}
 	}
 	return sweep.RunGrid(ctx, sweep.Config{
-		N:            grid.N,
-		Delta:        grid.Delta,
-		NuValues:     grid.NuValues,
-		CValues:      grid.CValues,
-		Rounds:       o.rounds,
-		Seed:         o.seed,
-		T:            o.tee,
-		SampleEvery:  o.sampleEvery,
-		NewAdversary: factory,
-		Workers:      o.workers,
-		Shards:       o.shards,
-		FastForward:  o.fastForward,
+		N:                grid.N,
+		Delta:            grid.Delta,
+		NuValues:         grid.NuValues,
+		CValues:          grid.CValues,
+		Rounds:           o.rounds,
+		Seed:             o.seed,
+		T:                o.tee,
+		SampleEvery:      o.sampleEvery,
+		NewAdversary:     factory,
+		Workers:          o.workers,
+		Shards:           o.shards,
+		FastForward:      o.fastForward,
+		CompactEvery:     o.compactEvery,
+		CompactMinRetire: o.compactMin,
+		CheckerRetention: o.checkerRetain,
 	}, o.replicates, o.onCell)
 }
 

@@ -73,6 +73,8 @@ func legacySimulate(t *testing.T, cfg SimulationConfig) SimulationReport {
 		ChainGrowthRate:      metrics.ChainGrowthRate(res.Records),
 		ChainQuality:         quality,
 		MainChainShare:       metrics.MainChainShare(res.Tree),
+		TotalBlocks:          res.Tree.Len() - 1,
+		LiveBlocks:           res.Tree.LiveBlocks(),
 	}
 }
 
