@@ -6,14 +6,14 @@ GO ?= go
 # append-only — bench refuses to overwrite an existing one.
 BENCH_LABEL ?= current
 
-.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist test-skip test-mem bench bench-mem
+.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist test-skip test-mem test-svc bench bench-mem
 
 ## verify: the full tier-1 gate — formatting, vet, build (`go build
 ## ./...` compiles the examples too), the package-doc check, the quick
-## pooled-parity, distributed-parity, fast-forward-equivalence, and
-## memory/compaction checks, and the race test suite (~6 min;
-## internal/dist's statistical tests dominate).
-verify: fmt vet build docs-check test-pool test-dist test-skip test-mem test-race
+## pooled-parity, distributed-parity, fast-forward-equivalence,
+## memory/compaction, and sweep-service checks, and the race test suite
+## (~6 min; internal/dist's statistical tests dominate).
+verify: fmt vet build docs-check test-pool test-dist test-skip test-mem test-svc test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -79,6 +79,15 @@ test-skip:
 ## under aggressive compaction (docs/memory.md).
 test-mem:
 	$(GO) test -race -short -run 'Compact|Retention|Payload|Sparse' ./internal/blockchain/ ./internal/consistency/ .
+
+## test-svc: seconds-long short-mode race pass over the sweep service —
+## the content-addressed store's crash/corruption/keep-first semantics,
+## the service's exactly-once cache/coalesce paths and byte-identity
+## with RunSweep, the HTTP/SSE surface and façade client, and the
+## sweepd server lifecycle (docs/sweepd.md).
+test-svc:
+	$(GO) test -race -short ./internal/store/ ./internal/sweepsvc/ ./cmd/sweepd/
+	$(GO) test -race -short -run 'SweepClient|SweepRequest' .
 
 ## bench: run the façade benchmarks, then append the BENCH_engine.json
 ## entry labeled $(BENCH_LABEL) — the core count is stamped

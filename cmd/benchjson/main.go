@@ -27,6 +27,10 @@ import (
 type entry struct {
 	Label string `json:"label"`
 	Date  string `json:"date"`
+	// EngineVersion stamps the engine-semantics version
+	// (neatbound.EngineVersion) the measurement ran under, so entries are
+	// only compared across identical simulation semantics.
+	EngineVersion int `json:"engine_version"`
 	// Configuration of the measured run. Shards is the engine's
 	// delivery-phase parallelism (0/1 = serial); Cores records the
 	// machine's CPU count (runtime.NumCPU()) and Procs the GOMAXPROCS
@@ -171,7 +175,8 @@ func measure(pr params.Params, rounds, iters, shards int, fastForward bool, comp
 
 	total := float64(rounds) * float64(iters)
 	return entry{
-		N: pr.N, P: pr.P, Delta: pr.Delta, Nu: pr.Nu,
+		EngineVersion: neatbound.EngineVersion,
+		N:             pr.N, P: pr.P, Delta: pr.Delta, Nu: pr.Nu,
 		RoundsPerOp: rounds, Iterations: iters,
 		Shards: shards, FastForward: fastForward,
 		CompactEvery: compactEvery, CheckerRetention: retention,

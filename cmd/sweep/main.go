@@ -39,8 +39,10 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 
 	"neatbound"
@@ -137,6 +139,7 @@ func run(args []string) error {
 	// Single-process and coordinator mode produce bit-identical grids;
 	// the only difference is who executes the cells.
 	runGrid := neatbound.RunSweep
+	var retrySummary func()
 	if *coordinator > 0 {
 		if *workers != 0 {
 			return fmt.Errorf("-workers sizes the single-process job pool; in coordinator mode the fleet size is -coordinator (got -workers %d)", *workers)
@@ -148,19 +151,58 @@ func run(args []string) error {
 		if s := neatbound.SweepShards(grid, *replicates, fleet, *distShards); s < fleet {
 			fleet = s
 		}
+		// Fold coordinator progress into a per-shard reassignment tally,
+		// reported once on stderr after the run — the same counts a
+		// sweepd server surfaces in its job status (shard_retries).
+		var retryMu sync.Mutex
+		perShard := make(map[int]int)
 		opts = append(opts,
 			neatbound.WithWorkers(fleet),
 			neatbound.WithTargetShards(*distShards),
 			neatbound.WithExecutor(newExecutor(fleet)),
+			neatbound.WithSweepProgress(func(p neatbound.SweepProgress) {
+				if !p.Retried {
+					return
+				}
+				retryMu.Lock()
+				perShard[p.Shard]++
+				retryMu.Unlock()
+			}),
 		)
+		retrySummary = func() {
+			retryMu.Lock()
+			defer retryMu.Unlock()
+			if len(perShard) == 0 {
+				fmt.Fprintln(os.Stderr, "sweep: coordinator: every shard committed on its first attempt")
+				return
+			}
+			shards := make([]int, 0, len(perShard))
+			total := 0
+			for s, c := range perShard {
+				shards = append(shards, s)
+				total += c
+			}
+			sort.Ints(shards)
+			fmt.Fprintf(os.Stderr, "sweep: coordinator: %d shard reassignment(s):\n", total)
+			for _, s := range shards {
+				fmt.Fprintf(os.Stderr, "sweep:   shard %d: reassigned %d time(s)\n", s, perShard[s])
+			}
+		}
 		runGrid = neatbound.RunSweepDistributed
 	} else {
 		opts = append(opts, neatbound.WithWorkers(*workers))
 	}
 	if *jsonOut || *replicates > 1 {
-		return runStreaming(ctx, runGrid, grid, opts, *jsonOut)
+		err := runStreaming(ctx, runGrid, grid, opts, *jsonOut)
+		if retrySummary != nil {
+			retrySummary()
+		}
+		return err
 	}
 	cells, err := runGrid(ctx, grid, opts...)
+	if retrySummary != nil {
+		retrySummary()
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"neatbound"
+)
+
+// TestServerEndToEnd boots the real server body on an ephemeral port,
+// runs a job through the façade client, restarts the server on the
+// same store, and checks the resubmission is served from disk.
+func TestServerEndToEnd(t *testing.T) {
+	storeDir := t.TempDir()
+	grid := neatbound.SweepGrid{N: 10, Delta: 3, NuValues: []float64{0.2}, CValues: []float64{1, 2}}
+	opts := []neatbound.Option{
+		neatbound.WithRounds(300),
+		neatbound.WithSeed(7),
+		neatbound.WithConsistency(4, 0),
+		neatbound.WithReplicates(2),
+		neatbound.WithAdversaryName("private", neatbound.AdversaryOpts{ForkDepth: 4}),
+	}
+
+	boot := func() (addr string, shutdown func() error, logs *bytes.Buffer) {
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		var stderr bytes.Buffer
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-store", storeDir}, &stderr, ready)
+		}()
+		select {
+		case addr = <-ready:
+		case err := <-errc:
+			t.Fatalf("server died before ready: %v\n%s", err, stderr.String())
+		case <-time.After(30 * time.Second):
+			t.Fatalf("server never became ready\n%s", stderr.String())
+		}
+		return addr, func() error {
+			cancel()
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(30 * time.Second):
+				return context.DeadlineExceeded
+			}
+		}, &stderr
+	}
+
+	addr, shutdown, _ := boot()
+	client := neatbound.NewSweepClient("http://"+addr, nil)
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancelCtx()
+
+	st, err := client.Submit(ctx, grid, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := client.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := neatbound.RunSweep(ctx, grid, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotBuf, wantBuf bytes.Buffer
+	if err := neatbound.MarshalCells(&gotBuf, cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := neatbound.MarshalCells(&wantBuf, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) {
+		t.Errorf("served cells differ from cold RunSweep:\ngot:\n%s\nwant:\n%s", gotBuf.Bytes(), wantBuf.Bytes())
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Restart on the same store: the resubmission never computes.
+	addr, shutdown, logs := boot()
+	client = neatbound.NewSweepClient("http://"+addr, nil)
+	st, err = client.Submit(ctx, grid, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Wait(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	status, err := client.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.CellsCached != status.CellsTotal || status.CellsComputed != 0 {
+		t.Errorf("restarted server recomputed: %+v", status)
+	}
+	if !strings.Contains(logs.String(), "cells cached") {
+		t.Errorf("startup log does not report the warm store:\n%s", logs.String())
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestServerRejectsBadFlags(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &stderr, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

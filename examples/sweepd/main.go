@@ -1,0 +1,131 @@
+// Sweep service end to end: boot an in-process sweepd (the real
+// service and HTTP surface on an ephemeral port), run two clients with
+// overlapping grids against it, and verify the memoization story —
+// the second client's shared cells come from the content-addressed
+// store rather than being recomputed, and both results are
+// bit-identical to a cold single-process RunSweep. This is exactly
+// what `go run ./cmd/sweepd` serves; docs/sweepd.md specifies the
+// protocol.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"neatbound"
+	"neatbound/internal/store"
+	"neatbound/internal/sweepsvc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// The server: a durable store plus the sweep service, on a real
+	// TCP listener. cmd/sweepd is this with flags and signal handling.
+	dir, err := os.MkdirTemp("", "sweepd-example-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	svc, err := sweepsvc.New(sweepsvc.Options{Store: st, Workers: 2})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: svc.Handler()}
+	go server.Serve(ln)
+	defer server.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("sweepd serving on %s (store %s)\n", base, dir)
+
+	opts := []neatbound.Option{
+		neatbound.WithRounds(2000),
+		neatbound.WithSeed(42),
+		neatbound.WithConsistency(4, 0),
+		neatbound.WithAdversaryName("private", neatbound.AdversaryOpts{ForkDepth: 3}),
+		neatbound.WithReplicates(2),
+	}
+
+	// Client 1 submits a 2-row grid and follows the SSE stream.
+	small := neatbound.SweepGrid{
+		N: 20, Delta: 2,
+		NuValues: []float64{0.1, 0.2},
+		CValues:  []float64{0.8, 2, 8},
+	}
+	client1 := neatbound.NewSweepClient(base, nil)
+	job1, err := client1.Submit(ctx, small, opts...)
+	if err != nil {
+		return err
+	}
+	if err := client1.Stream(ctx, job1.ID, func(ev neatbound.SweepJobEvent) error {
+		if ev.Type == "cell" {
+			fmt.Printf("client 1: cell (ν=%g, c=%g) cached=%v\n", ev.Nu, ev.C, ev.Cached)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Client 2 wants a superset: the same two ν-rows plus a third. The
+	// overlap is served from the store; only the new row computes.
+	big := small
+	big.NuValues = []float64{0.1, 0.2, 0.3}
+	client2 := neatbound.NewSweepClient(base, nil)
+	job2, err := client2.Submit(ctx, big, opts...)
+	if err != nil {
+		return err
+	}
+	cells2, err := client2.Wait(ctx, job2.ID)
+	if err != nil {
+		return err
+	}
+	status2, err := client2.Status(ctx, job2.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client 2: %d cells — %d cached, %d computed\n",
+		status2.CellsTotal, status2.CellsCached, status2.CellsComputed)
+	if status2.CellsCached != len(small.NuValues)*len(small.CValues) {
+		return fmt.Errorf("expected the shared %d cells to come from the store, got %d cached",
+			len(small.NuValues)*len(small.CValues), status2.CellsCached)
+	}
+
+	// The service's whole point: the merged cached+fresh grid is
+	// bit-identical to a cold single-process run.
+	batch, err := neatbound.RunSweep(ctx, big, opts...)
+	if err != nil {
+		return err
+	}
+	var want, got bytes.Buffer
+	if err := neatbound.MarshalCells(&want, batch); err != nil {
+		return err
+	}
+	if err := neatbound.MarshalCells(&got, cells2); err != nil {
+		return err
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		return fmt.Errorf("service result is NOT bit-identical to RunSweep")
+	}
+	fmt.Printf("service result is bit-identical to RunSweep (%d bytes)\n", got.Len())
+	return nil
+}

@@ -257,11 +257,51 @@ func (c *Checker) UsePool(p *pool.Pool) { c.pool = p }
 // watermark — advance as old snapshots are released. Check and
 // MaxForkDepth then evaluate Definition 1 over the retained window
 // only.
+//
+// Shrinking the window mid-run releases the dropped snapshots
+// immediately and compacts the tip arena down to the retained window's
+// bounded high-water mark — without this, slabs referenced only by
+// dropped snapshots would stay resident until enough new samples
+// rotated them out. The retention pin is left where it is: it may now
+// sit below the smaller window's true common ancestor, which merely
+// over-retains until the next release in OnRound refolds it (the
+// checker has no tree to refold against here).
 func (c *Checker) SetRetention(keep int) {
 	if keep < 0 {
 		keep = 0
 	}
+	shrink := keep > 0 && (c.retain == 0 || keep < c.retain)
 	c.retain = keep
+	if shrink && len(c.snaps) > keep {
+		c.snaps = c.snaps[len(c.snaps)-keep:]
+		c.compactSlab()
+	}
+}
+
+// compactSlab rewrites the retained snapshots' tips into one fresh
+// bounded slab, releasing every slab only dropped snapshots were
+// keeping alive. Appends continue into the new slab's spare capacity,
+// so the rewrite does not disturb arenaCopy's steady state.
+func (c *Checker) compactSlab() {
+	total := 0
+	for i := range c.snaps {
+		total += len(c.snaps[i].Tips)
+	}
+	size := 1024
+	if size < total {
+		size = total
+	}
+	slab := make([]blockchain.BlockID, 0, size)
+	for i := range c.snaps {
+		tips := c.snaps[i].Tips
+		if len(tips) == 0 {
+			continue
+		}
+		lo := len(slab)
+		slab = append(slab, tips...)
+		c.snaps[i].Tips = slab[lo:len(slab):len(slab)]
+	}
+	c.slab = slab
 }
 
 // AppendRetained implements engine.Retainer: the pin covers every

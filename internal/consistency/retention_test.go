@@ -130,3 +130,120 @@ func TestCheckerAppendRetained(t *testing.T) {
 		t.Error("broken pin still permits compaction")
 	}
 }
+
+// TestSetRetentionShrinkCompactsSlab: shrinking the window mid-run must
+// release the dropped snapshots immediately and repack the survivors'
+// tips into one fresh bounded slab — the arena footprint returns to its
+// high-water mark instead of staying pinned by slabs only dropped
+// snapshots referenced.
+func TestSetRetentionShrinkCompactsSlab(t *testing.T) {
+	ck, err := NewChecker(6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow a full-history run entirely through the sampling path
+	// (arenaCopy): 600 snapshots × 8 tips rotate through several 1024-ID
+	// slabs, each kept alive only by the snapshots carved from it.
+	tips := make([]blockchain.BlockID, 8)
+	for i := 0; i < 600; i++ {
+		for j := range tips {
+			tips[j] = blockchain.BlockID(i*len(tips) + j + 1)
+		}
+		ck.snaps = append(ck.snaps, Snapshot{Round: i * ck.Every, Tips: ck.arenaCopy(tips)})
+	}
+	first := ck.snaps[0].Tips
+	if len(ck.slab) == 600*len(tips) {
+		t.Fatal("slab never rotated — the test exercises nothing")
+	}
+
+	// What the retained window must still hold after the shrink.
+	const keep = 4
+	want := make([]Snapshot, keep)
+	for i, s := range ck.snaps[len(ck.snaps)-keep:] {
+		want[i] = Snapshot{Round: s.Round, Tips: append([]blockchain.BlockID(nil), s.Tips...)}
+	}
+
+	ck.SetRetention(keep)
+
+	if got := len(ck.Snapshots()); got != keep {
+		t.Fatalf("retained %d snapshots after shrink, want %d", got, keep)
+	}
+	// The slab is back at its floor: one slab, minimum capacity, holding
+	// exactly the retained tips.
+	if got := cap(ck.slab); got != 1024 {
+		t.Errorf("slab capacity %d after shrink, want the 1024 floor", got)
+	}
+	if got, wantLen := len(ck.slab), keep*len(tips); got != wantLen {
+		t.Errorf("slab holds %d ids after shrink, want %d", got, wantLen)
+	}
+	// Every survivor aliases the fresh slab (the old slabs are
+	// unreferenced and collectable), contiguously packed.
+	off := 0
+	for i, s := range ck.snaps {
+		if s.Round != want[i].Round {
+			t.Fatalf("snapshot %d round = %d, want %d", i, s.Round, want[i].Round)
+		}
+		for j, tip := range s.Tips {
+			if tip != want[i].Tips[j] {
+				t.Fatalf("snapshot %d tip %d = %d, want %d", i, j, tip, want[i].Tips[j])
+			}
+		}
+		if &s.Tips[0] != &ck.slab[off] {
+			t.Fatalf("snapshot %d not repacked into the fresh slab", i)
+		}
+		off += len(s.Tips)
+	}
+	if first[0] != 1 {
+		t.Fatal("dropped snapshot's backing memory was rewritten")
+	}
+
+	// Sampling continues into the fresh slab's spare capacity without
+	// disturbing the repacked survivors.
+	for i := 600; i < 610; i++ {
+		for j := range tips {
+			tips[j] = blockchain.BlockID(i*len(tips) + j + 1)
+		}
+		ck.snaps = append(ck.snaps, Snapshot{Round: i * ck.Every, Tips: ck.arenaCopy(tips)})
+	}
+	for i := range want {
+		for j, tip := range ck.snaps[i].Tips {
+			if tip != want[i].Tips[j] {
+				t.Fatalf("post-shrink sampling corrupted retained snapshot %d tip %d", i, j)
+			}
+		}
+	}
+
+	// Loosening the window afterwards must not trim anything.
+	before := len(ck.snaps)
+	ck.SetRetention(100)
+	if len(ck.snaps) != before {
+		t.Errorf("loosening retention trimmed snapshots: %d -> %d", before, len(ck.snaps))
+	}
+}
+
+// TestSetRetentionShrinkMidRun is the end-to-end variant: shrink a
+// live full-history checker between two engine runs and confirm the
+// retained window still scans cleanly and the arena stays bounded.
+func TestSetRetentionShrinkMidRun(t *testing.T) {
+	ck, err := NewChecker(6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWithCompaction(t, ck, 2000)
+	grown := len(ck.Snapshots())
+	if grown < 10 {
+		t.Fatalf("full-history run retained only %d snapshots", grown)
+	}
+	ck.SetRetention(4)
+	if got := len(ck.Snapshots()); got != 4 {
+		t.Fatalf("retained %d snapshots after shrink, want 4", got)
+	}
+	if got := cap(ck.slab); got != 1024 {
+		t.Errorf("slab capacity %d after shrink, want the 1024 floor", got)
+	}
+	res := runWithCompaction(t, ck, 2000)
+	if got := len(ck.Snapshots()); got != 4 {
+		t.Fatalf("retained %d snapshots after second run, want 4", got)
+	}
+	requireSnapshotsLive(t, ck, res.Tree)
+}

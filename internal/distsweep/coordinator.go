@@ -22,6 +22,15 @@ type Progress struct {
 	Cells int
 	// Retries counts shard reassignments after failures so far.
 	Retries int
+	// Shard is the shard this event concerns: the shard that just
+	// committed, or — when Retried is set — the shard whose failed
+	// attempt was just reassigned. Consumers that fold events per shard
+	// (cmd/sweep's final retry summary, sweepd's job status and SSE
+	// stream) key on it.
+	Shard int
+	// Retried marks a reassignment event (the shard failed and was
+	// requeued) as opposed to a commit event.
+	Retried bool
 }
 
 // Options tunes the coordinator.
@@ -66,7 +75,7 @@ const defaultRetries = 2
 // killed, in-process workers stop within one engine round — and Run
 // returns the cells committed so far together with ctx.Err().
 func Run(ctx context.Context, s Sweep, opts Options) ([]sweep.AggregateCell, error) {
-	if err := s.validate(); err != nil {
+	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	workers := opts.Workers
@@ -439,6 +448,7 @@ func (c *coordinator) commitDone(shardID int) {
 		close(c.work)
 	}
 	p := c.progressLocked()
+	p.Shard = shardID
 	c.mu.Unlock()
 	c.report(p)
 }
@@ -465,6 +475,8 @@ func (c *coordinator) fail(shardID int, err error) {
 	}
 	c.reassigns++
 	p := c.progressLocked()
+	p.Shard = shardID
+	p.Retried = true
 	if !c.closed {
 		c.work <- shardID
 	}

@@ -60,13 +60,24 @@ type Sweep struct {
 	// snapshot pairs the consistency scan sees, so it is part of the
 	// sweep's semantics, not a tuning knob.
 	CheckerRetention int
+	// CellOffset places this sweep inside a larger parent grid: it is
+	// the parent-frame ν-major index of this sweep's cell (0, 0), added
+	// to every per-cell seed derivation on top of the shard-local
+	// NuOffset shift. Zero for a standalone sweep. It is what lets a
+	// caller (sweepd's cache-miss dispatch) run a rectangular slice of a
+	// parent grid — a single ν-row span, or whole ν-rows when CValues is
+	// the parent's full list — and get exactly the cells the parent's
+	// single-process run would have computed.
+	CellOffset int
 }
 
-// validate rejects sweeps the coordinator cannot drive. Beyond the
+// Validate rejects sweeps the coordinator cannot drive. Beyond the
 // single-process checks it requires distinct (ν, c) pairs: the cell
 // interchange keys records by their coordinates, so a grid with
-// duplicate coordinates cannot be reassembled unambiguously.
-func (s Sweep) validate() error {
+// duplicate coordinates cannot be reassembled unambiguously. Exported
+// so front ends (the sweepd service) can reject a bad sweep at
+// submission time instead of discovering it when the job runs.
+func (s Sweep) Validate() error {
 	if s.Rounds < 1 {
 		return fmt.Errorf("distsweep: rounds = %d must be ≥ 1", s.Rounds)
 	}
@@ -75,6 +86,9 @@ func (s Sweep) validate() error {
 	}
 	if s.Replicates < 1 {
 		return fmt.Errorf("distsweep: replicates = %d must be ≥ 1", s.Replicates)
+	}
+	if s.CellOffset < 0 {
+		return fmt.Errorf("distsweep: cell offset = %d must be ≥ 0", s.CellOffset)
 	}
 	if s.Adversary != "" {
 		if _, err := adversary.ByName(s.Adversary, s.ForkDepth); err != nil {
@@ -145,6 +159,11 @@ type ShardSpec struct {
 	CompactEvery     int `json:"compact_every,omitempty"`
 	CompactMinRetire int `json:"compact_min_retire,omitempty"`
 	CheckerRetention int `json:"checker_retention,omitempty"`
+	// CellOffset mirrors Sweep.CellOffset (add-only; absent = 0 = a
+	// standalone grid): the parent-frame ν-major index of the *sweep's*
+	// cell (0, 0), applied on top of the shard's own NuOffset shift when
+	// the worker derives per-cell seeds.
+	CellOffset int `json:"cell_offset,omitempty"`
 }
 
 // fullRange reports whether the shard covers its cells' entire
@@ -176,6 +195,9 @@ func (sp ShardSpec) validate() error {
 	}
 	if sp.NuOffset < 0 {
 		return fmt.Errorf("distsweep: shard %d: nu_offset = %d must be ≥ 0", sp.Shard, sp.NuOffset)
+	}
+	if sp.CellOffset < 0 {
+		return fmt.Errorf("distsweep: shard %d: cell_offset = %d must be ≥ 0", sp.Shard, sp.CellOffset)
 	}
 	if sp.RepLo < 0 || sp.RepHi <= sp.RepLo || sp.RepHi > sp.Replicates {
 		return fmt.Errorf("distsweep: shard %d: replicate range [%d, %d) invalid for %d replicates",
@@ -281,6 +303,7 @@ func Partition(s Sweep, shards int) []ShardSpec {
 				CompactEvery:     s.CompactEvery,
 				CompactMinRetire: s.CompactMinRetire,
 				CheckerRetention: s.CheckerRetention,
+				CellOffset:       s.CellOffset,
 			})
 			id++
 		}

@@ -115,7 +115,7 @@ func runShard(ctx context.Context, spec ShardSpec, opts WorkerOptions, enc *json
 		CompactMinRetire: spec.CompactMinRetire,
 		CheckerRetention: spec.CheckerRetention,
 		Pool:             opts.Pool,
-		CellOffset:       spec.NuOffset * len(spec.CValues),
+		CellOffset:       spec.CellOffset + spec.NuOffset*len(spec.CValues),
 		RepOffset:        spec.RepLo,
 	}
 	reps := spec.RepHi - spec.RepLo

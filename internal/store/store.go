@@ -1,0 +1,271 @@
+// Package store is sweepd's durable, content-addressed result store:
+// finished sweep cells (sweep.AggregateCell records in their interchange
+// wire form) keyed by the content address of the computation that
+// produced them (sweep.CellJob.Key — params, ν, per-replicate seeds,
+// replicates, engine-semantics version). It is the memoization layer
+// behind the sweep service — identical cells requested by many users are
+// computed once and served from here — and the seam a future
+// checkpoint/resume coordinator persists committed shard summaries into.
+//
+// # Layout and durability
+//
+// A store is one directory holding a single append-only log,
+// "cells.log". Each record is one line of JSON:
+//
+//	{"v":1,"key":"<hex sha-256>","sum":"<hex crc32c>","cell":{...}}
+//
+// where cell is the interchange cell record (docs/interchange.md) and
+// sum is the CRC-32C of "<key>\n<cell bytes>" — so a payload spliced
+// under the wrong key fails verification just like a flipped bit.
+// Appends are single-writer (an internal mutex serializes them), each
+// record is written in one Write call and fsynced before Put returns,
+// and the in-memory key → offset index is rebuilt by scanning the log
+// on Open.
+//
+// Crash safety: the only partial state a crash can leave is a torn tail
+// — a final record missing its newline or cut mid-bytes. Open detects
+// it (unparseable final line), truncates the log back to the last clean
+// record, and reports the drop via OpenStats; the lost cell is simply
+// recomputed. A malformed record *before* the tail is not a torn append
+// but corruption, and Open fails loudly. Checksum verification runs on
+// every Get, so bit rot surfaces as an error, never as a silently wrong
+// cell.
+//
+// # Concurrency and ownership
+//
+// One process owns a store directory (sweepd's single-writer
+// assumption; nothing here takes file locks). Within the process a
+// Store is safe for concurrent use: Put serializes on the writer lock,
+// Get reads the immutable committed prefix via ReadAt.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"neatbound/internal/sweep"
+)
+
+// recordVersion is the log-record framing version; the add-only rule of
+// docs/interchange.md applies to record fields within it.
+const recordVersion = 1
+
+// logName is the append-only cell log inside the store directory.
+const logName = "cells.log"
+
+// castagnoli is the CRC-32C table every checksum uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// record is the on-disk line form.
+type record struct {
+	V    int             `json:"v"`
+	Key  string          `json:"key"`
+	Sum  string          `json:"sum"`
+	Cell json.RawMessage `json:"cell"`
+}
+
+// loc places one committed cell's raw bytes inside the log.
+type loc struct {
+	off, n int64
+}
+
+// OpenStats reports what Open found in an existing log.
+type OpenStats struct {
+	// Cells is the number of committed cells indexed.
+	Cells int
+	// TailDropped is set when a torn final record was detected and
+	// truncated away (a crash mid-append; the cell will be recomputed).
+	TailDropped bool
+}
+
+// Store is the content-addressed cell store; see the package comment
+// for layout, durability, and ownership.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	size  int64
+	index map[string]loc
+	stats OpenStats
+}
+
+// Open opens (creating if absent) the store in directory dir, scans the
+// log to rebuild the index, and truncates a torn tail record if the
+// last append was cut by a crash. Malformed records before the tail are
+// corruption and fail Open.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	s := &Store{f: f, index: make(map[string]loc)}
+	if err := s.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan rebuilds the index from the log, truncating a torn tail.
+func (s *Store) scan() error {
+	data, err := os.ReadFile(s.f.Name())
+	if err != nil {
+		return fmt.Errorf("store: scan %s: %w", s.f.Name(), err)
+	}
+	off := int64(0)
+	truncateTail := func() error {
+		// Torn tail: truncate back to the last clean record.
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncate torn tail at %d: %w", off, err)
+		}
+		s.stats.TailDropped = true
+		s.size = off
+		return nil
+	}
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// No newline: the append was cut before the record's
+			// terminator, so the record never committed — even if its
+			// bytes happen to parse.
+			return truncateTail()
+		}
+		var rec record
+		if err := json.Unmarshal(data[:nl], &rec); err != nil || rec.Key == "" || len(rec.Cell) == 0 {
+			if len(data) > nl+1 {
+				// A malformed record with records after it is not a torn
+				// append — it is corruption, and dropping it silently
+				// would hide it.
+				return fmt.Errorf("store: corrupt record at offset %d in %s", off, s.f.Name())
+			}
+			return truncateTail()
+		}
+		if rec.V > recordVersion {
+			return fmt.Errorf("store: record at offset %d has version %d, newer than this store's %d", off, rec.V, recordVersion)
+		}
+		n := int64(nl + 1)
+		s.index[rec.Key] = loc{off: off, n: n}
+		s.stats.Cells++
+		off += n
+		data = data[nl+1:]
+	}
+	s.size = off
+	return nil
+}
+
+// Stats returns what Open found (and, via Cells, the live count).
+func (s *Store) Stats() OpenStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Cells = len(s.index)
+	return st
+}
+
+// Len returns the number of committed cells.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Has reports whether key is committed, without reading or verifying
+// the payload.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// checksum is the record checksum: CRC-32C over "<key>\n<cell bytes>".
+func checksum(key string, cell []byte) string {
+	h := crc32.New(castagnoli)
+	h.Write([]byte(key))
+	h.Write([]byte{'\n'})
+	h.Write(cell)
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// Put commits one finished cell under its content address. The first
+// write wins: a key already committed is left untouched (content
+// addressing means a duplicate carries the same result, and keep-first
+// preserves the exact bytes earlier readers may already have served).
+// Put returns only after the record is fsynced.
+func (s *Store) Put(key string, cell sweep.AggregateCell) error {
+	var buf bytes.Buffer
+	if err := sweep.MarshalCell(json.NewEncoder(&buf), cell); err != nil {
+		return fmt.Errorf("store: encode cell for %s: %w", key, err)
+	}
+	cellBytes := bytes.TrimRight(buf.Bytes(), "\n")
+	rec := record{V: recordVersion, Key: key, Sum: checksum(key, cellBytes), Cell: cellBytes}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode record for %s: %w", key, err)
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.index[key]; dup {
+		return nil
+	}
+	n, err := s.f.WriteAt(line, s.size)
+	if err != nil {
+		return fmt.Errorf("store: append %s: %w", key, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", key, err)
+	}
+	s.index[key] = loc{off: s.size, n: int64(n)}
+	s.size += int64(n)
+	return nil
+}
+
+// Get returns the committed cell for key, verifying the record checksum
+// on every read: a mismatch (bit rot, a payload spliced under the wrong
+// key) is an error, never a silently wrong cell. The second return is
+// false when the key has never been committed.
+func (s *Store) Get(key string) (sweep.AggregateCell, bool, error) {
+	s.mu.Lock()
+	l, ok := s.index[key]
+	f := s.f
+	s.mu.Unlock()
+	if !ok {
+		return sweep.AggregateCell{}, false, nil
+	}
+	line := make([]byte, l.n)
+	if _, err := f.ReadAt(line, l.off); err != nil {
+		return sweep.AggregateCell{}, false, fmt.Errorf("store: read %s: %w", key, err)
+	}
+	var rec record
+	if err := json.Unmarshal(bytes.TrimRight(line, "\n"), &rec); err != nil {
+		return sweep.AggregateCell{}, false, fmt.Errorf("store: decode record for %s: %w", key, err)
+	}
+	if rec.Key != key {
+		return sweep.AggregateCell{}, false, fmt.Errorf("store: record at offset %d holds key %s, wanted %s", l.off, rec.Key, key)
+	}
+	if got := checksum(rec.Key, rec.Cell); got != rec.Sum {
+		return sweep.AggregateCell{}, false, fmt.Errorf("store: checksum mismatch for %s: record says %s, payload hashes to %s", key, rec.Sum, got)
+	}
+	cell, _, err := sweep.UnmarshalCellLine(rec.Cell)
+	if err != nil {
+		return sweep.AggregateCell{}, false, fmt.Errorf("store: %w", err)
+	}
+	return cell, true, nil
+}
+
+// Close releases the log file; the store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

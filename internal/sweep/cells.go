@@ -23,6 +23,12 @@ type wireCell struct {
 	// on plain aggregates.
 	Rep   *int   `json:"rep,omitempty"`
 	Error string `json:"error,omitempty"`
+	// EngineVersion stamps the producer's engine-semantics version on
+	// every record (added under the interchange's add-only rule; absent
+	// on pre-stamp streams). It is provenance, not a gate: readers
+	// preserve unknown-version records — the sweepd store, which must
+	// not pool across semantics, keys on the version instead.
+	EngineVersion int `json:"engine_version,omitempty"`
 }
 
 // MarshalCells writes one JSON line per cell to w — the streamed
@@ -41,7 +47,7 @@ func MarshalCells(w io.Writer, cells []AggregateCell) error {
 // MarshalCell encodes a single cell onto enc in the interchange form —
 // the streaming building block behind MarshalCells.
 func MarshalCell(enc *json.Encoder, cell AggregateCell) error {
-	wc := wireCell{AggregateCell: cell}
+	wc := wireCell{AggregateCell: cell, EngineVersion: EngineVersion}
 	if cell.Err != nil {
 		wc.Error = cell.Err.Error()
 	}
@@ -56,7 +62,7 @@ func MarshalCell(enc *json.Encoder, cell AggregateCell) error {
 // form replicate-range sweep shards stream, refolded exactly by
 // AggregateReplicates on the coordinator side.
 func MarshalReplicateCell(enc *json.Encoder, rep int, cell AggregateCell) error {
-	wc := wireCell{AggregateCell: cell, Rep: &rep}
+	wc := wireCell{AggregateCell: cell, Rep: &rep, EngineVersion: EngineVersion}
 	if cell.Err != nil {
 		wc.Error = cell.Err.Error()
 	}

@@ -149,13 +149,11 @@ func (cfg Config) validate() error {
 	return nil
 }
 
-// cellSeed derives the deterministic seed of one (cell, replicate) job.
-// The derivation matches the pre-job-queue runner (replicate offsets the
-// base seed, the 1-based cell index XORs in), so existing seeded sweeps
-// reproduce their historical results. Cross-process shards shift idx and
-// rep into the parent grid's frame via CellOffset/RepOffset.
+// cellSeed derives the deterministic seed of one (cell, replicate) job —
+// CellSeed in the parent grid's frame (cross-process shards shift idx
+// and rep into it via CellOffset/RepOffset).
 func (cfg Config) cellSeed(idx, rep int) uint64 {
-	return (cfg.Seed + uint64(rep+cfg.RepOffset)*seedGolden) ^ (uint64(idx+cfg.CellOffset+1) * seedGolden)
+	return CellSeed(cfg.Seed, idx+cfg.CellOffset, rep+cfg.RepOffset)
 }
 
 // runJobs executes every (cell, replicate) pair of the grid on a worker
@@ -172,13 +170,7 @@ func runJobs(ctx context.Context, cfg Config, replicates int, collect func(idx, 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sampleEvery := cfg.SampleEvery
-	if sampleEvery <= 0 {
-		sampleEvery = cfg.Rounds / 50
-		if sampleEvery < 1 {
-			sampleEvery = 1
-		}
-	}
+	sampleEvery := ResolveSampleEvery(cfg.SampleEvery, cfg.Rounds)
 	type job struct {
 		idx, rep int
 		nu, c    float64

@@ -1,0 +1,810 @@
+// Package sweepsvc is the sweep service behind cmd/sweepd: a
+// long-running job manager that accepts sweep submissions over the
+// façade's grid/option vocabulary, keys every grid cell by its content
+// address (sweep.CellJob — parameters, ν, per-replicate seeds, engine
+// semantics version), consults the persistent result store first,
+// dispatches only the missing cells to the distributed coordinator, and
+// merges cached and freshly computed cells into exactly the stream a
+// cold single-process RunSweep would have produced.
+//
+// # Exactly-once computation
+//
+// Two mechanisms keep every distinct cell computed at most once across
+// the service's lifetime:
+//
+//   - The store: a finished cell is committed under its content address
+//     before anything else observes it, so any later job — tomorrow's
+//     resubmission of today's grid, or a different grid that happens to
+//     share a cell — hits the cache.
+//   - Coalescing: concurrent jobs wanting the same in-flight cell join
+//     a single flight (a per-key claim registered under the service
+//     lock) instead of computing it twice. Claims are resolved
+//     compute-before-wait — a job finishes computing everything it
+//     claimed before it blocks on cells claimed by others — so
+//     overlapping jobs cannot deadlock, and a job whose owner dies
+//     (fails or is cancelled) sees the flight aborted and reclaims the
+//     cell itself.
+//
+// # Job lifecycle and observation
+//
+// A job moves queued → running → done | failed | cancelled. Every state
+// change, committed shard, and finished cell appends an event to the
+// job's replay log; Watch streams the log from the start and then
+// follows live — the HTTP layer (server.go) exposes this as
+// Server-Sent Events, the rest of the lifecycle as plain JSON. Jobs are
+// cancellable at any point: cancellation tears down the job's
+// coordinator via context, aborts its unfinished claims, and leaves
+// every cell it did finish in the store for the next submission.
+//
+// docs/sweepd.md is the service's user-facing specification.
+package sweepsvc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"neatbound/internal/distsweep"
+	"neatbound/internal/store"
+	"neatbound/internal/sweep"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Store is the persistent content-addressed cell store (required).
+	Store *store.Store
+	// Workers is the distributed coordinator's worker-fleet size per
+	// job; values < 1 mean 1.
+	Workers int
+	// TargetShards is the coordinator's target shard count per
+	// dispatched rectangle; 0 means one per worker.
+	TargetShards int
+	// Retries bounds per-shard reassignments (distsweep.Options.Retries
+	// semantics: 0 = default, negative = disabled).
+	Retries int
+	// Executor launches the coordinator's workers; nil runs them
+	// in-process.
+	Executor distsweep.Executor
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// terminal reports whether a job state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// JobRequest is the submission body: the distsweep.Sweep vocabulary in
+// the interchange's snake_case spelling, minus placement (submitted
+// grids are standalone; the service does its own cache-miss placement).
+type JobRequest struct {
+	N                int       `json:"n"`
+	Delta            int       `json:"delta"`
+	NuValues         []float64 `json:"nu_values"`
+	CValues          []float64 `json:"c_values"`
+	Rounds           int       `json:"rounds"`
+	Seed             uint64    `json:"seed"`
+	T                int       `json:"t"`
+	SampleEvery      int       `json:"sample_every,omitempty"`
+	Replicates       int       `json:"replicates"`
+	Adversary        string    `json:"adversary,omitempty"`
+	ForkDepth        int       `json:"fork_depth,omitempty"`
+	EngineShards     int       `json:"engine_shards,omitempty"`
+	FastForward      bool      `json:"fast_forward,omitempty"`
+	CompactEvery     int       `json:"compact_every,omitempty"`
+	CompactMinRetire int       `json:"compact_min_retire,omitempty"`
+	CheckerRetention int       `json:"checker_retention,omitempty"`
+}
+
+// Sweep converts the request to the coordinator's sweep description.
+func (r JobRequest) Sweep() distsweep.Sweep {
+	return distsweep.Sweep{
+		N:                r.N,
+		Delta:            r.Delta,
+		NuValues:         r.NuValues,
+		CValues:          r.CValues,
+		Rounds:           r.Rounds,
+		Seed:             r.Seed,
+		T:                r.T,
+		SampleEvery:      r.SampleEvery,
+		Replicates:       r.Replicates,
+		Adversary:        r.Adversary,
+		ForkDepth:        r.ForkDepth,
+		EngineShards:     r.EngineShards,
+		FastForward:      r.FastForward,
+		CompactEvery:     r.CompactEvery,
+		CompactMinRetire: r.CompactMinRetire,
+		CheckerRetention: r.CheckerRetention,
+	}
+}
+
+// JobStatus is a job's observable state. CellsCached counts store hits,
+// CellsCoalesced cells joined from another job's in-flight computation,
+// CellsComputed cells this job computed itself; at completion the three
+// sum to CellsTotal.
+type JobStatus struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	CellsTotal int    `json:"cells_total"`
+	// CellsCached / CellsCoalesced / CellsComputed break down where the
+	// job's cells came from; see the type comment.
+	CellsCached    int `json:"cells_cached"`
+	CellsCoalesced int `json:"cells_coalesced"`
+	CellsComputed  int `json:"cells_computed"`
+	// ShardsDone / ShardsTotal track the coordinator shards dispatched
+	// for this job's cache misses (both 0 on a fully cached job).
+	// ShardsTotal grows as cache-miss rectangles are planned.
+	ShardsDone  int `json:"shards_done"`
+	ShardsTotal int `json:"shards_total"`
+	// Retries counts shard reassignments; ShardRetries breaks them down
+	// per job-global shard id (cmd/sweep's coordinator summary shows the
+	// same counts on stderr).
+	Retries      int         `json:"retries"`
+	ShardRetries map[int]int `json:"shard_retries,omitempty"`
+	// Error is the terminal failure ("" unless State is failed or
+	// cancelled).
+	Error string `json:"error,omitempty"`
+}
+
+// Event is one entry in a job's replay log — what GET /jobs/{id}/events
+// streams as Server-Sent Events (Type is the SSE event name, the rest
+// the JSON data). Fields are add-only, per the interchange's versioning
+// rule: consumers must ignore unknown fields and event types.
+type Event struct {
+	// Type is the event name: queued, running, cell, shard, done,
+	// failed, cancelled.
+	Type string `json:"type"`
+	// Status snapshots the job at the time of the event.
+	Status JobStatus `json:"status"`
+	// Nu and C locate the cell a "cell" event concerns.
+	Nu float64 `json:"nu,omitempty"`
+	C  float64 `json:"c,omitempty"`
+	// Cached marks a "cell" event served from the store; Coalesced one
+	// joined from another job's computation. Both false = computed here.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Shard is the job-global shard a "shard" event concerns; Retried
+	// marks a reassignment rather than a commit.
+	Shard   *int `json:"shard,omitempty"`
+	Retried bool `json:"retried,omitempty"`
+}
+
+// cellCoord locates a cell by grid coordinates.
+type cellCoord struct{ nu, c float64 }
+
+// flight is one in-progress cell computation other jobs can join. The
+// owner either completes it (ok = true, cell set) or aborts it
+// (ok = false) — both close done after removing the flight from the
+// service's inflight map, so a waiter that sees ok = false can re-enter
+// the claim loop and find the key free (or newly cached).
+type flight struct {
+	done chan struct{}
+	cell sweep.AggregateCell
+	ok   bool
+}
+
+// job is one submission's full state.
+type job struct {
+	id      string
+	sweep   distsweep.Sweep
+	keys    []string // ν-major cell content addresses
+	cellIdx map[cellCoord]int
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu      sync.Mutex
+	status  JobStatus
+	events  []Event
+	changed chan struct{} // closed and replaced on every append
+	result  []byte        // MarshalCells bytes once State == done
+}
+
+// update mutates the job's status and, when ev is non-nil, appends it
+// (carrying a status snapshot) to the replay log and wakes watchers.
+func (j *job) update(mutate func(*JobStatus), ev *Event) {
+	j.mu.Lock()
+	if mutate != nil {
+		mutate(&j.status)
+	}
+	if ev != nil {
+		ev.Status = snapshotLocked(j.status)
+		j.events = append(j.events, *ev)
+		close(j.changed)
+		j.changed = make(chan struct{})
+	}
+	j.mu.Unlock()
+}
+
+// snapshotLocked deep-copies a status (the ShardRetries map must not be
+// shared with concurrent mutation).
+func snapshotLocked(st JobStatus) JobStatus {
+	if st.ShardRetries != nil {
+		m := make(map[int]int, len(st.ShardRetries))
+		for k, v := range st.ShardRetries {
+			m[k] = v
+		}
+		st.ShardRetries = m
+	}
+	return st
+}
+
+// Snapshot returns the job's current status.
+func (j *job) Snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return snapshotLocked(j.status)
+}
+
+// Service is the sweep service; see the package comment. Create with
+// New, shut down with Close.
+type Service struct {
+	opts Options
+	root context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	seq      int
+	inflight map[string]*flight
+	computed int // total cells computed (never served from cache) since New
+}
+
+// New builds a Service over a store.
+func New(opts Options) (*Service, error) {
+	if opts.Store == nil {
+		return nil, errors.New("sweepsvc: Options.Store is required")
+	}
+	root, stop := context.WithCancel(context.Background())
+	return &Service{
+		opts:     opts,
+		root:     root,
+		stop:     stop,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*flight),
+	}, nil
+}
+
+// Close cancels every running job and waits for them to finish. The
+// store is the caller's to close.
+func (s *Service) Close() {
+	s.stop()
+	s.wg.Wait()
+}
+
+// ComputedCells reports how many cells the service has actually
+// computed (as opposed to served from cache or coalesced) since New —
+// the number the exactly-once tests pin.
+func (s *Service) ComputedCells() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.computed
+}
+
+// CellKeys derives the content address of every cell in the sweep, in
+// ν-major grid order — the keys the service stores and coalesces on.
+// Exported for tests and warm-cache tooling.
+func CellKeys(sw distsweep.Sweep) []string {
+	sampleEvery := sweep.ResolveSampleEvery(sw.SampleEvery, sw.Rounds)
+	nC := len(sw.CValues)
+	keys := make([]string, 0, len(sw.NuValues)*nC)
+	for i, nu := range sw.NuValues {
+		for jc, c := range sw.CValues {
+			idx := sw.CellOffset + i*nC + jc
+			seeds := make([]uint64, sw.Replicates)
+			for rep := range seeds {
+				seeds[rep] = sweep.CellSeed(sw.Seed, idx, rep)
+			}
+			keys = append(keys, sweep.CellJob{
+				EngineVersion:    sweep.EngineVersion,
+				N:                sw.N,
+				Delta:            sw.Delta,
+				Nu:               nu,
+				C:                c,
+				Rounds:           sw.Rounds,
+				T:                sw.T,
+				SampleEvery:      sampleEvery,
+				Adversary:        sw.Adversary,
+				ForkDepth:        sw.ForkDepth,
+				CheckerRetention: sw.CheckerRetention,
+				Seeds:            seeds,
+			}.Key())
+		}
+	}
+	return keys
+}
+
+// Submit validates a request, registers a job, and starts it. The
+// returned status is the job's initial snapshot; follow it via Status,
+// Watch, or the HTTP endpoints.
+func (s *Service) Submit(req JobRequest) (JobStatus, error) {
+	sw := req.Sweep()
+	if err := sw.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	keys := CellKeys(sw)
+	cellIdx := make(map[cellCoord]int, len(keys))
+	idx := 0
+	for _, nu := range sw.NuValues {
+		for _, c := range sw.CValues {
+			cellIdx[cellCoord{nu, c}] = idx
+			idx++
+		}
+	}
+
+	s.mu.Lock()
+	if s.root.Err() != nil {
+		s.mu.Unlock()
+		return JobStatus{}, errors.New("sweepsvc: service is closed")
+	}
+	s.seq++
+	id := fmt.Sprintf("job-%d", s.seq)
+	ctx, cancel := context.WithCancel(s.root)
+	j := &job{
+		id:      id,
+		sweep:   sw,
+		keys:    keys,
+		cellIdx: cellIdx,
+		ctx:     ctx,
+		cancel:  cancel,
+		status:  JobStatus{ID: id, State: StateQueued, CellsTotal: len(keys)},
+		changed: make(chan struct{}),
+	}
+	s.jobs[id] = j
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	j.update(nil, &Event{Type: StateQueued})
+	go s.run(j)
+	return j.Snapshot(), nil
+}
+
+// lookup returns a job by id.
+func (s *Service) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Status returns a job's current status.
+func (s *Service) Status(id string) (JobStatus, bool) {
+	j, ok := s.lookup(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.Snapshot(), true
+}
+
+// Cancel requests cancellation of a job (a no-op once terminal) and
+// returns its current status.
+func (s *Service) Cancel(id string) (JobStatus, bool) {
+	j, ok := s.lookup(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	j.cancel()
+	return j.Snapshot(), true
+}
+
+// Result returns a done job's cell stream — the MarshalCells bytes,
+// byte-identical to a cold single-process RunSweep of the same request.
+// It errors while the job is still running or after it failed.
+func (s *Service) Result(id string) ([]byte, error) {
+	j, ok := s.lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("sweepsvc: unknown job %s", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.State != StateDone {
+		return nil, fmt.Errorf("sweepsvc: job %s is %s, not done", id, j.status.State)
+	}
+	return j.result, nil
+}
+
+// Watch replays a job's event log from the start and then follows live,
+// calling fn for every event in order. It returns nil once the job is
+// terminal and every event has been delivered, ctx's error on
+// cancellation, or fn's error if it rejects an event.
+func (s *Service) Watch(ctx context.Context, id string, fn func(Event) error) error {
+	j, ok := s.lookup(id)
+	if !ok {
+		return fmt.Errorf("sweepsvc: unknown job %s", id)
+	}
+	i := 0
+	for {
+		j.mu.Lock()
+		// Full slice expression: the backing array beyond len is append's
+		// to scribble on while we read the prefix unlocked.
+		evs := j.events[i:len(j.events):len(j.events)]
+		ch := j.changed
+		done := terminal(j.status.State) && i+len(evs) == len(j.events)
+		j.mu.Unlock()
+		for _, ev := range evs {
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+		i += len(evs)
+		if done {
+			return nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// run drives one job to a terminal state.
+func (s *Service) run(j *job) {
+	defer s.wg.Done()
+	defer j.cancel()
+	j.update(func(st *JobStatus) { st.State = StateRunning }, &Event{Type: StateRunning})
+
+	cells, cached, err := s.resolve(j)
+	if err == nil {
+		var result []byte
+		result, err = assemble(j, cells, cached)
+		if err == nil {
+			j.mu.Lock()
+			j.result = result
+			j.mu.Unlock()
+			j.update(func(st *JobStatus) { st.State = StateDone }, &Event{Type: StateDone})
+			return
+		}
+	}
+	// A cancelled job context wins over however the coordinator wrapped
+	// the resulting failure: the caller asked for cancellation and gets
+	// "cancelled", not a launch or shard error downstream of it.
+	state := StateFailed
+	if errors.Is(err, context.Canceled) || j.ctx.Err() != nil {
+		state = StateCancelled
+	}
+	j.update(func(st *JobStatus) {
+		st.State = state
+		st.Error = err.Error()
+	}, &Event{Type: state})
+}
+
+// assemble merges the job's cached and fresh cells through the
+// interchange merge (MergeCellStreams — the same fold that reassembles
+// cross-process shard outputs) and re-orders the result into the
+// parent grid's ν-major order, returning the final MarshalCells bytes.
+func assemble(j *job, cells []sweep.AggregateCell, cached []bool) ([]byte, error) {
+	var cachedBuf, freshBuf bytes.Buffer
+	for idx, cell := range cells {
+		buf := &freshBuf
+		if cached[idx] {
+			buf = &cachedBuf
+		}
+		if err := sweep.MarshalCells(buf, []sweep.AggregateCell{cell}); err != nil {
+			return nil, err
+		}
+	}
+	merged, err := sweep.MergeCellStreams(&cachedBuf, &freshBuf)
+	if err != nil {
+		return nil, err
+	}
+	if len(merged) != len(cells) {
+		return nil, fmt.Errorf("sweepsvc: job %s: merged %d cells, expected %d", j.id, len(merged), len(cells))
+	}
+	ordered := make([]sweep.AggregateCell, len(cells))
+	for _, cell := range merged {
+		idx, ok := j.cellIdx[cellCoord{cell.Nu, cell.C}]
+		if !ok {
+			return nil, fmt.Errorf("sweepsvc: job %s: merged stream has unknown cell (ν=%g, c=%g)", j.id, cell.Nu, cell.C)
+		}
+		ordered[idx] = cell
+	}
+	var out bytes.Buffer
+	if err := sweep.MarshalCells(&out, ordered); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// resolve produces every cell of the job's grid, in parent order,
+// sourcing each from the store, a joined flight, or its own
+// computation. cached[idx] reports a store hit (the "served from cache"
+// half of the merge). It loops until every cell is resolved: a round
+// claims or joins each pending cell, computes everything claimed
+// (compute-before-wait — the deadlock-freedom invariant), then waits on
+// the joins; joins whose owner aborted are retried next round.
+func (s *Service) resolve(j *job) (cells []sweep.AggregateCell, cached []bool, err error) {
+	n := len(j.keys)
+	cells = make([]sweep.AggregateCell, n)
+	cached = make([]bool, n)
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		if err := j.ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		var hits, owned, joined []int
+		flights := make(map[int]*flight)
+		s.mu.Lock()
+		for _, idx := range pending {
+			key := j.keys[idx]
+			// Has (an index probe) under s.mu is race-free against
+			// completion: an owner commits to the store *before* removing
+			// its flight, so a key with no flight and no store entry is
+			// genuinely unowned.
+			if s.opts.Store.Has(key) {
+				hits = append(hits, idx)
+				continue
+			}
+			if f, ok := s.inflight[key]; ok {
+				joined = append(joined, idx)
+				flights[idx] = f
+				continue
+			}
+			s.inflight[key] = &flight{done: make(chan struct{})}
+			owned = append(owned, idx)
+		}
+		s.mu.Unlock()
+
+		// Store reads can happen unlocked: committed records are
+		// immutable.
+		for _, idx := range hits {
+			cell, ok, err := s.opts.Store.Get(j.keys[idx])
+			if err == nil && !ok {
+				err = fmt.Errorf("sweepsvc: cell %s vanished from store", j.keys[idx])
+			}
+			if err != nil {
+				s.abortFlights(j, owned)
+				return nil, nil, err
+			}
+			cells[idx], cached[idx] = cell, true
+			nu, c := cell.Nu, cell.C
+			j.update(func(st *JobStatus) { st.CellsCached++ },
+				&Event{Type: "cell", Nu: nu, C: c, Cached: true})
+		}
+
+		if len(owned) > 0 {
+			if err := s.compute(j, owned, cells); err != nil {
+				return nil, nil, err
+			}
+		}
+
+		var retry []int
+		for _, idx := range joined {
+			f := flights[idx]
+			select {
+			case <-f.done:
+			case <-j.ctx.Done():
+				return nil, nil, j.ctx.Err()
+			}
+			if !f.ok {
+				// The owner failed or was cancelled; reclaim next round.
+				retry = append(retry, idx)
+				continue
+			}
+			cells[idx] = f.cell
+			nu, c := f.cell.Nu, f.cell.C
+			j.update(func(st *JobStatus) { st.CellsCoalesced++ },
+				&Event{Type: "cell", Nu: nu, C: c, Coalesced: true})
+		}
+		pending = retry
+	}
+	return cells, cached, nil
+}
+
+// abortFlights aborts the job's still-incomplete claims among idxs so
+// waiting jobs can reclaim them. Flights the job already completed (and
+// removed) are skipped — the inflight map only ever holds incomplete
+// ones.
+func (s *Service) abortFlights(j *job, idxs []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, idx := range idxs {
+		key := j.keys[idx]
+		if f, ok := s.inflight[key]; ok {
+			f.ok = false
+			delete(s.inflight, key)
+			close(f.done)
+		}
+	}
+}
+
+// compute runs the job's claimed cells through the distributed
+// coordinator and commits each finished cell — store first, then the
+// flight — as it lands. The claimed set is decomposed into the fewest
+// grid-aligned rectangles the shard protocol can express (whole ν-row
+// spans, or single-row c-spans); each rectangle runs as a sub-sweep
+// whose CellOffset places it in the parent frame, so its seeds — and
+// therefore its cells — are exactly the parent's. On any failure the
+// remaining incomplete claims are aborted for other jobs to reclaim.
+func (s *Service) compute(j *job, owned []int, cells []sweep.AggregateCell) (err error) {
+	committed := make(map[int]bool, len(owned)) // guarded by the coordinator callback serialization + Run return
+	defer func() {
+		if err == nil {
+			return
+		}
+		var left []int
+		for _, idx := range owned {
+			if !committed[idx] {
+				left = append(left, idx)
+			}
+		}
+		s.abortFlights(j, left)
+	}()
+
+	nC := len(j.sweep.CValues)
+	rects := decompose(owned, len(j.sweep.NuValues), nC)
+
+	// Plan shard accounting up front so ShardsTotal is stable for the
+	// whole compute round.
+	workers := s.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	target := s.opts.TargetShards
+	if target == 0 {
+		target = workers
+	}
+	subs := make([]distsweep.Sweep, len(rects))
+	bases := make([]int, len(rects))
+	base := 0
+	for i, r := range rects {
+		subs[i] = subSweep(j.sweep, r)
+		bases[i] = base
+		base += distsweep.PartitionSize(subs[i], target)
+	}
+	added := base
+	j.update(func(st *JobStatus) { st.ShardsTotal += added }, nil)
+
+	for i, sub := range subs {
+		shardBase := bases[i]
+		var cbErr error // first commit error inside a callback; callbacks are serialized
+		_, runErr := distsweep.Run(j.ctx, sub, distsweep.Options{
+			Workers:  s.opts.Workers,
+			Shards:   s.opts.TargetShards,
+			Retries:  s.opts.Retries,
+			Executor: s.opts.Executor,
+			OnProgress: func(p distsweep.Progress) {
+				shard := shardBase + p.Shard
+				retried := p.Retried
+				j.update(func(st *JobStatus) {
+					if retried {
+						st.Retries++
+						if st.ShardRetries == nil {
+							st.ShardRetries = make(map[int]int)
+						}
+						st.ShardRetries[shard]++
+					} else {
+						st.ShardsDone++
+					}
+				}, &Event{Type: "shard", Shard: &shard, Retried: retried})
+			},
+			OnCell: func(cell sweep.AggregateCell) {
+				idx, ok := j.cellIdx[cellCoord{cell.Nu, cell.C}]
+				if !ok {
+					if cbErr == nil {
+						cbErr = fmt.Errorf("sweepsvc: job %s: coordinator returned unknown cell (ν=%g, c=%g)", j.id, cell.Nu, cell.C)
+					}
+					return
+				}
+				// Store before flight: the claim-loop invariant (no flight +
+				// no store entry ⇒ unowned) depends on this order. A Put
+				// failure leaves the flight incomplete; the deferred abort
+				// hands the cell back.
+				if err := s.opts.Store.Put(j.keys[idx], cell); err != nil {
+					if cbErr == nil {
+						cbErr = err
+					}
+					return
+				}
+				s.mu.Lock()
+				if f, ok := s.inflight[j.keys[idx]]; ok {
+					f.cell = cell
+					f.ok = true
+					delete(s.inflight, j.keys[idx])
+					close(f.done)
+				}
+				s.computed++
+				s.mu.Unlock()
+				cells[idx] = cell
+				committed[idx] = true
+				j.update(func(st *JobStatus) { st.CellsComputed++ },
+					&Event{Type: "cell", Nu: cell.Nu, C: cell.C})
+			},
+		})
+		if runErr != nil {
+			return runErr
+		}
+		if cbErr != nil {
+			return cbErr
+		}
+	}
+	return nil
+}
+
+// rect is a half-open grid rectangle [nuLo, nuHi) × [cLo, cHi) in the
+// parent grid's index space.
+type rect struct{ nuLo, nuHi, cLo, cHi int }
+
+// decompose covers the claimed cell set with rectangles the shard
+// protocol can express. Rows missing their full c-span stack into
+// multi-row rectangles (the spec's ν-major stride then equals the
+// parent's, so one CellOffset shifts every seed correctly); partially
+// missing rows become single-row rectangles per contiguous c-run. The
+// cover is exact and disjoint.
+func decompose(idxs []int, nNu, nC int) []rect {
+	miss := make([][]bool, nNu)
+	for i := range miss {
+		miss[i] = make([]bool, nC)
+	}
+	for _, idx := range idxs {
+		miss[idx/nC][idx%nC] = true
+	}
+	full := func(i int) bool {
+		for _, m := range miss[i] {
+			if !m {
+				return false
+			}
+		}
+		return true
+	}
+	empty := func(i int) bool {
+		for _, m := range miss[i] {
+			if m {
+				return false
+			}
+		}
+		return true
+	}
+	var rects []rect
+	for i := 0; i < nNu; {
+		switch {
+		case empty(i):
+			i++
+		case full(i):
+			k := i + 1
+			for k < nNu && full(k) {
+				k++
+			}
+			rects = append(rects, rect{i, k, 0, nC})
+			i = k
+		default:
+			for jc := 0; jc < nC; {
+				if !miss[i][jc] {
+					jc++
+					continue
+				}
+				k := jc + 1
+				for k < nC && miss[i][k] {
+					k++
+				}
+				rects = append(rects, rect{i, i + 1, jc, k})
+				jc = k
+			}
+			i++
+		}
+	}
+	return rects
+}
+
+// subSweep cuts one rectangle of the parent sweep into a standalone
+// sweep whose CellOffset places its cell (0, 0) — and with it every
+// derived seed — in the parent's frame.
+func subSweep(p distsweep.Sweep, r rect) distsweep.Sweep {
+	sub := p
+	sub.NuValues = p.NuValues[r.nuLo:r.nuHi]
+	sub.CValues = p.CValues[r.cLo:r.cHi]
+	sub.CellOffset = p.CellOffset + r.nuLo*len(p.CValues) + r.cLo
+	return sub
+}

@@ -1,0 +1,451 @@
+package sweepsvc_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"neatbound"
+	"neatbound/internal/distsweep"
+	"neatbound/internal/store"
+	"neatbound/internal/sweepsvc"
+)
+
+// testReq is the suite's canonical small sweep: 4 cells × 2 replicates,
+// fast enough to run many times under -race.
+func testReq() sweepsvc.JobRequest {
+	return sweepsvc.JobRequest{
+		N: 10, Delta: 3,
+		NuValues: []float64{0.2, 0.3},
+		CValues:  []float64{1, 2},
+		Rounds:   400, Seed: 7, T: 4, Replicates: 2,
+		Adversary: "private", ForkDepth: 4,
+	}
+}
+
+// newService opens a fresh store in a temp dir and a service over it.
+func newService(t *testing.T, opts sweepsvc.Options) (*sweepsvc.Service, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	opts.Store = st
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	svc, err := sweepsvc.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, st
+}
+
+// waitJob follows the job to a terminal state and returns its final
+// status and full event log.
+func waitJob(t *testing.T, svc *sweepsvc.Service, id string) (sweepsvc.JobStatus, []sweepsvc.Event) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var events []sweepsvc.Event
+	if err := svc.Watch(ctx, id, func(ev sweepsvc.Event) error {
+		events = append(events, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("watch %s: %v", id, err)
+	}
+	st, ok := svc.Status(id)
+	if !ok {
+		t.Fatalf("job %s vanished", id)
+	}
+	return st, events
+}
+
+// coldBytes is the reference the service must match byte for byte: a
+// single-process façade RunSweep of the same request, marshalled.
+func coldBytes(t *testing.T, req sweepsvc.JobRequest) []byte {
+	t.Helper()
+	grid := neatbound.SweepGrid{N: req.N, Delta: req.Delta, NuValues: req.NuValues, CValues: req.CValues}
+	opts := []neatbound.Option{
+		neatbound.WithRounds(req.Rounds),
+		neatbound.WithSeed(req.Seed),
+		neatbound.WithConsistency(req.T, req.SampleEvery),
+		neatbound.WithReplicates(req.Replicates),
+	}
+	if req.Adversary != "" {
+		opts = append(opts, neatbound.WithAdversaryName(req.Adversary, neatbound.AdversaryOpts{ForkDepth: req.ForkDepth}))
+	}
+	cells, err := neatbound.RunSweep(context.Background(), grid, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := neatbound.MarshalCells(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestColdRunMatchesRunSweep(t *testing.T) {
+	svc, _ := newService(t, sweepsvc.Options{})
+	req := testReq()
+	st0, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, events := waitJob(t, svc, st0.ID)
+	if st.State != sweepsvc.StateDone {
+		t.Fatalf("job %s: state %s (%s)", st.ID, st.State, st.Error)
+	}
+	total := len(req.NuValues) * len(req.CValues)
+	if st.CellsTotal != total || st.CellsComputed != total || st.CellsCached != 0 || st.CellsCoalesced != 0 {
+		t.Errorf("cold run breakdown: %+v, want %d computed of %d", st, total, total)
+	}
+	if st.ShardsTotal == 0 || st.ShardsDone != st.ShardsTotal {
+		t.Errorf("shards %d/%d after done", st.ShardsDone, st.ShardsTotal)
+	}
+	if svc.ComputedCells() != total {
+		t.Errorf("service computed %d cells, want %d", svc.ComputedCells(), total)
+	}
+	if events[0].Type != sweepsvc.StateQueued || events[len(events)-1].Type != sweepsvc.StateDone {
+		t.Errorf("event log starts %q ends %q, want queued..done", events[0].Type, events[len(events)-1].Type)
+	}
+	got, err := svc.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := coldBytes(t, req); !bytes.Equal(got, want) {
+		t.Errorf("service result differs from cold RunSweep:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestResubmitIsFullyCached(t *testing.T) {
+	svc, _ := newService(t, sweepsvc.Options{})
+	req := testReq()
+	first, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := waitJob(t, svc, first.ID)
+	if st1.State != sweepsvc.StateDone {
+		t.Fatalf("first job: %s (%s)", st1.State, st1.Error)
+	}
+	computed := svc.ComputedCells()
+
+	second, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := waitJob(t, svc, second.ID)
+	if st2.State != sweepsvc.StateDone {
+		t.Fatalf("second job: %s (%s)", st2.State, st2.Error)
+	}
+	if st2.CellsCached != st2.CellsTotal || st2.CellsComputed != 0 {
+		t.Errorf("resubmission breakdown: %+v, want all %d cached", st2, st2.CellsTotal)
+	}
+	if st2.ShardsTotal != 0 {
+		t.Errorf("fully cached job dispatched %d shards", st2.ShardsTotal)
+	}
+	if got := svc.ComputedCells(); got != computed {
+		t.Errorf("resubmission computed cells: service total went %d -> %d", computed, got)
+	}
+	r1, err := svc.Result(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := svc.Result(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Error("cached result differs from the computed one")
+	}
+}
+
+// TestPartialOverlap extends a finished sweep's ν-axis: the shared
+// prefix must come from the store, only the new row computed, and the
+// merged stream must still match a cold single-process run bit for bit.
+func TestPartialOverlap(t *testing.T) {
+	svc, _ := newService(t, sweepsvc.Options{})
+	small := testReq()
+	st0, err := svc.Submit(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := waitJob(t, svc, st0.ID); st.State != sweepsvc.StateDone {
+		t.Fatalf("first job: %s (%s)", st.State, st.Error)
+	}
+
+	big := small
+	big.NuValues = []float64{0.2, 0.3, 0.45}
+	st1, err := svc.Submit(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := waitJob(t, svc, st1.ID)
+	if st.State != sweepsvc.StateDone {
+		t.Fatalf("second job: %s (%s)", st.State, st.Error)
+	}
+	nC := len(big.CValues)
+	cachedWant := len(small.NuValues) * nC
+	computedWant := (len(big.NuValues) - len(small.NuValues)) * nC
+	if st.CellsCached != cachedWant || st.CellsComputed != computedWant {
+		t.Errorf("overlap breakdown: cached %d computed %d, want %d/%d",
+			st.CellsCached, st.CellsComputed, cachedWant, computedWant)
+	}
+	got, err := svc.Result(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := coldBytes(t, big); !bytes.Equal(got, want) {
+		t.Errorf("merged cached+fresh result differs from cold RunSweep:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestConcurrentSubmitsCoalesce fires identical jobs concurrently into
+// one service: across all of them every distinct cell is computed
+// exactly once — the rest are store hits or joined flights — and every
+// job sees the identical byte stream.
+func TestConcurrentSubmitsCoalesce(t *testing.T) {
+	svc, _ := newService(t, sweepsvc.Options{})
+	req := testReq()
+	total := len(req.NuValues) * len(req.CValues)
+
+	const jobs = 6
+	ids := make([]string, jobs)
+	for i := range ids {
+		st, err := svc.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	var wg sync.WaitGroup
+	results := make([][]byte, jobs)
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			st, _ := waitJob(t, svc, id)
+			if st.State != sweepsvc.StateDone {
+				t.Errorf("job %s: %s (%s)", id, st.State, st.Error)
+				return
+			}
+			if got := st.CellsCached + st.CellsCoalesced + st.CellsComputed; got != total {
+				t.Errorf("job %s resolved %d cells of %d: %+v", id, got, total, st)
+			}
+			r, err := svc.Result(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i, id)
+	}
+	wg.Wait()
+	if got := svc.ComputedCells(); got != total {
+		t.Errorf("%d concurrent identical jobs computed %d cells, want exactly %d", jobs, got, total)
+	}
+	for i := 1; i < jobs; i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Errorf("job %s result differs from job %s", ids[i], ids[0])
+		}
+	}
+}
+
+// blockingExecutor wedges every worker launch until the coordinator's
+// context dies — a deterministic stand-in for a long-running job.
+type blockingExecutor struct {
+	started chan struct{}
+	once    sync.Once
+}
+
+func (e *blockingExecutor) Start(ctx context.Context, id int) (*distsweep.WorkerConn, error) {
+	e.once.Do(func() { close(e.started) })
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	exec := &blockingExecutor{started: make(chan struct{})}
+	svc, _ := newService(t, sweepsvc.Options{Executor: exec})
+	st0, err := svc.Submit(testReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exec.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never reached the executor")
+	}
+	if _, ok := svc.Cancel(st0.ID); !ok {
+		t.Fatalf("cancel: job %s unknown", st0.ID)
+	}
+	st, _ := waitJob(t, svc, st0.ID)
+	if st.State != sweepsvc.StateCancelled {
+		t.Fatalf("cancelled job ended %s (%s)", st.State, st.Error)
+	}
+	if _, err := svc.Result(st0.ID); err == nil {
+		t.Error("Result of a cancelled job did not error")
+	}
+}
+
+// TestCancelReleasesClaims: a second job joined on the first job's
+// flights must survive the first job's cancellation by reclaiming and
+// computing the cells itself.
+func TestCancelReleasesClaims(t *testing.T) {
+	// First service call wedges; flipping release lets later launches
+	// through, so the reclaiming job can finish.
+	var mu sync.Mutex
+	release := false
+	inner := distsweep.InProcess{}
+	started := make(chan struct{}, 16)
+	exec := executorFunc(func(ctx context.Context, id int) (*distsweep.WorkerConn, error) {
+		mu.Lock()
+		ok := release
+		mu.Unlock()
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		if !ok {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return inner.Start(ctx, id)
+	})
+	svc, _ := newService(t, sweepsvc.Options{Executor: exec})
+	req := testReq()
+	first, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("first job never reached the executor")
+	}
+	second, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the second job a moment to join the first job's flights, then
+	// kill the owner and unblock the fleet.
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	release = true
+	mu.Unlock()
+	svc.Cancel(first.ID)
+
+	st, _ := waitJob(t, svc, second.ID)
+	if st.State != sweepsvc.StateDone {
+		t.Fatalf("survivor job: %s (%s)", st.State, st.Error)
+	}
+	got, err := svc.Result(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := coldBytes(t, req); !bytes.Equal(got, want) {
+		t.Error("survivor's result differs from cold RunSweep")
+	}
+}
+
+// executorFunc adapts a function to distsweep.Executor.
+type executorFunc func(ctx context.Context, id int) (*distsweep.WorkerConn, error)
+
+func (f executorFunc) Start(ctx context.Context, id int) (*distsweep.WorkerConn, error) {
+	return f(ctx, id)
+}
+
+func TestSubmitValidates(t *testing.T) {
+	svc, _ := newService(t, sweepsvc.Options{})
+	bad := testReq()
+	bad.NuValues = nil
+	if _, err := svc.Submit(bad); err == nil {
+		t.Error("empty ν-axis accepted")
+	}
+	dup := testReq()
+	dup.CValues = []float64{1, 1}
+	if _, err := svc.Submit(dup); err == nil {
+		t.Error("duplicate grid cells accepted")
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	svc, _ := newService(t, sweepsvc.Options{})
+	svc.Close()
+	if _, err := svc.Submit(testReq()); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("Submit after Close: %v, want service-closed error", err)
+	}
+}
+
+// TestStoreSurvivesRestart is the cross-restart half of the cache
+// story: a new service over the same store directory serves yesterday's
+// cells without recomputing.
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := testReq()
+	total := len(req.NuValues) * len(req.CValues)
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, err := sweepsvc.New(sweepsvc.Options{Store: st1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := svc1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, _ := waitJob(t, svc1, first.ID)
+	if stat.State != sweepsvc.StateDone {
+		t.Fatalf("first job: %s (%s)", stat.State, stat.Error)
+	}
+	r1, err := svc1.Result(first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != total {
+		t.Fatalf("reopened store holds %d cells, want %d", st2.Len(), total)
+	}
+	svc2, err := sweepsvc.New(sweepsvc.Options{Store: st2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	second, err := svc2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat2, _ := waitJob(t, svc2, second.ID)
+	if stat2.State != sweepsvc.StateDone {
+		t.Fatalf("restarted job: %s (%s)", stat2.State, stat2.Error)
+	}
+	if stat2.CellsCached != total || svc2.ComputedCells() != 0 {
+		t.Errorf("restarted service recomputed: %+v, computed=%d", stat2, svc2.ComputedCells())
+	}
+	r2, err := svc2.Result(second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, r2) {
+		t.Error("restart changed the served bytes")
+	}
+}

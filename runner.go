@@ -21,6 +21,15 @@ import (
 // (Simulate, Sweep, SweepReplicated, SweepReplicatedStream) are thin
 // shims over this path.
 
+// EngineVersion is the engine-semantics version (sweep.EngineVersion):
+// it changes only when a code change alters simulation results for some
+// configuration — never for bit-identical refactors. It is stamped into
+// every interchange cell record ("engine_version"), into benchmark
+// entries (cmd/benchjson), and into the sweepd store's cell content
+// addresses, so results are only pooled or deduplicated across
+// identical semantics.
+const EngineVersion = sweep.EngineVersion
+
 // Engine is the protocol execution engine observers receive; it exposes
 // honest views (DistinctTips, PlayerTip, MaxHonestHeight, …) for
 // inspection during a run.
@@ -123,6 +132,10 @@ const (
 	scopeRun optionScope = 1 << iota
 	scopeSweep
 	scopeDist
+	// scopeSvc marks options a SweepClient submission can carry to a
+	// sweepd server (sweepclient.go) — the subset of the sweep
+	// vocabulary that travels as data.
+	scopeSvc
 )
 
 // Option configures Run and RunSweep. Each constructor documents which
@@ -153,14 +166,14 @@ func applyOptions(scope optionScope, entry string, opts []Option) (*runOptions, 
 // WithRounds sets the execution length (per cell, for sweeps). Required:
 // there is no default.
 func WithRounds(rounds int) Option {
-	return Option{name: "WithRounds", scope: scopeRun | scopeSweep | scopeDist,
+	return Option{name: "WithRounds", scope: scopeRun | scopeSweep | scopeDist | scopeSvc,
 		apply: func(o *runOptions) { o.rounds = rounds }}
 }
 
 // WithSeed sets the base random seed (0 is a valid seed and the
 // default); identical configurations replay identically.
 func WithSeed(seed uint64) Option {
-	return Option{name: "WithSeed", scope: scopeRun | scopeSweep | scopeDist,
+	return Option{name: "WithSeed", scope: scopeRun | scopeSweep | scopeDist | scopeSvc,
 		apply: func(o *runOptions) { o.seed = seed }}
 }
 
@@ -182,7 +195,7 @@ func WithAdversaryFactory(factory func() Adversary) Option {
 // WithAdversaryName selects the strategy by its NewAdversaryByName name;
 // it works for both Run (one instance) and RunSweep (one per cell).
 func WithAdversaryName(name string, opts AdversaryOpts) Option {
-	return Option{name: "WithAdversaryName", scope: scopeRun | scopeSweep | scopeDist,
+	return Option{name: "WithAdversaryName", scope: scopeRun | scopeSweep | scopeDist | scopeSvc,
 		apply: func(o *runOptions) { o.advName, o.advOpts, o.advNameSet = name, opts, true }}
 }
 
@@ -191,13 +204,13 @@ func WithAdversaryName(name string, opts AdversaryOpts) Option {
 // sharded, AutoShards picks from GOMAXPROCS and the player count. Any
 // value is bit-identical.
 func WithShards(shards int) Option {
-	return Option{name: "WithShards", scope: scopeRun | scopeSweep | scopeDist,
+	return Option{name: "WithShards", scope: scopeRun | scopeSweep | scopeDist | scopeSvc,
 		apply: func(o *runOptions) { o.shards = shards }}
 }
 
 // WithAutoShards is WithShards(AutoShards).
 func WithAutoShards() Option {
-	return Option{name: "WithAutoShards", scope: scopeRun | scopeSweep | scopeDist,
+	return Option{name: "WithAutoShards", scope: scopeRun | scopeSweep | scopeDist | scopeSvc,
 		apply: func(o *runOptions) { o.shards = AutoShards }}
 }
 
@@ -205,7 +218,7 @@ func WithAutoShards() Option {
 // snapshot interval (sampleEvery ≤ 0 picks rounds/50, min 1). Without
 // this option the check runs at T = 0 with the default interval.
 func WithConsistency(tee, sampleEvery int) Option {
-	return Option{name: "WithConsistency", scope: scopeRun | scopeSweep | scopeDist,
+	return Option{name: "WithConsistency", scope: scopeRun | scopeSweep | scopeDist | scopeSvc,
 		apply: func(o *runOptions) { o.tee, o.sampleEvery = tee, sampleEvery }}
 }
 
@@ -248,7 +261,7 @@ func WithNuSchedule(fn func(round int) float64) Option {
 // round's record, and the engine silently falls back to stepping
 // whenever a precondition fails (see docs/fastforward.md).
 func WithFastForward() Option {
-	return Option{name: "WithFastForward", scope: scopeRun | scopeSweep | scopeDist,
+	return Option{name: "WithFastForward", scope: scopeRun | scopeSweep | scopeDist | scopeSvc,
 		apply: func(o *runOptions) { o.fastForward = true }}
 }
 
@@ -267,7 +280,7 @@ func WithFastForward() Option {
 // inert — combine with WithCheckerRetention to let the watermark
 // advance.
 func WithCompaction(every, minRetire int) Option {
-	return Option{name: "WithCompaction", scope: scopeRun | scopeSweep | scopeDist,
+	return Option{name: "WithCompaction", scope: scopeRun | scopeSweep | scopeDist | scopeSvc,
 		apply: func(o *runOptions) { o.compactEvery, o.compactMin = every, minRetire }}
 }
 
@@ -277,14 +290,14 @@ func WithCompaction(every, minRetire int) Option {
 // run. A bounded window is what lets WithCompaction reclaim memory, at
 // the cost of evaluating Definition 1 over the retained window only.
 func WithCheckerRetention(keep int) Option {
-	return Option{name: "WithCheckerRetention", scope: scopeRun | scopeSweep | scopeDist,
+	return Option{name: "WithCheckerRetention", scope: scopeRun | scopeSweep | scopeDist | scopeSvc,
 		apply: func(o *runOptions) { o.checkerRetain = keep }}
 }
 
 // WithReplicates runs every sweep cell r times with independent seeds
 // and aggregates (default 1). RunSweep and RunSweepDistributed.
 func WithReplicates(r int) Option {
-	return Option{name: "WithReplicates", scope: scopeSweep | scopeDist,
+	return Option{name: "WithReplicates", scope: scopeSweep | scopeDist | scopeSvc,
 		apply: func(o *runOptions) { o.replicates = r }}
 }
 
