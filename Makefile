@@ -6,14 +6,15 @@ GO ?= go
 # append-only — bench refuses to overwrite an existing one.
 BENCH_LABEL ?= current
 
-.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist test-skip test-mem test-svc bench bench-mem
+.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist test-skip test-mem test-svc test-chaos bench bench-mem
 
 ## verify: the full tier-1 gate — formatting, vet, build (`go build
 ## ./...` compiles the examples too), the package-doc check, the quick
 ## pooled-parity, distributed-parity, fast-forward-equivalence,
-## memory/compaction, and sweep-service checks, and the race test suite
-## (~6 min; internal/dist's statistical tests dominate).
-verify: fmt vet build docs-check test-pool test-dist test-skip test-mem test-svc test-race
+## memory/compaction, sweep-service, and fault-tolerance checks, and
+## the race test suite (~6 min; internal/dist's statistical tests
+## dominate).
+verify: fmt vet build docs-check test-pool test-dist test-skip test-mem test-svc test-chaos test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -88,6 +89,19 @@ test-mem:
 test-svc:
 	$(GO) test -race -short ./internal/store/ ./internal/sweepsvc/ ./cmd/sweepd/
 	$(GO) test -race -short -run 'SweepClient|SweepRequest' .
+
+## test-chaos: seconds-long short-mode race pass over the
+## fault-tolerance layer (docs/faults.md) — the deterministic chaos
+## soak (seeded worker kills, hangs, truncation, and corruption with
+## exactly-once commits and cold-run byte-identity), the
+## checkpoint/resume crash edges, stall detection, respawn backoff,
+## permanent-failure fast-fail, and the daemon's job-journal recovery.
+## Every fault schedule is seeded and the seed appears in the failure
+## message, so a red run replays exactly. (The real-subprocess kill -9
+## and stderr-tail tests skip under -short; `test-race` runs them.)
+test-chaos:
+	$(GO) test -race -short -run 'Chaos|Checkpoint|Resume|Stall|Backoff|Permanent|SweepKey|Journal|StderrTail' \
+		./internal/distsweep/ ./internal/store/ ./internal/sweepsvc/ ./cmd/sweepd/ ./cmd/sweep/
 
 ## bench: run the façade benchmarks, then append the BENCH_engine.json
 ## entry labeled $(BENCH_LABEL) — the core count is stamped

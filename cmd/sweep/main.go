@@ -29,6 +29,18 @@
 // (all grid flags are ignored; the coordinator's shard specs carry the
 // configuration); it is meant to be spawned by a coordinator, not run
 // by hand.
+//
+// -checkpoint DIR makes a coordinator sweep durable: every committed
+// shard is journaled in DIR before it is announced, and a killed sweep
+// can be continued with -resume against the same directory — only the
+// missing shards are recomputed, and the reassembled grid is
+// byte-identical to an uninterrupted run. A checkpoint from a different
+// sweep (changed grid, seed, partitioning, …) is refused, never merged.
+// -stall-timeout declares a shard attempt dead when its worker makes no
+// progress for that long; the shard is requeued like any other failure.
+// After the run the coordinator prints a per-shard reassignment summary
+// on stderr, broken down by cause (stall / launch / error). See
+// docs/faults.md for the full fault-tolerance contract.
 package main
 
 import (
@@ -101,6 +113,9 @@ func run(args []string) error {
 	worker := fs.Bool("worker", false, "serve the shard protocol on stdin/stdout (spawned by -coordinator)")
 	coordinator := fs.Int("coordinator", 0, "partition the grid across this many worker subprocesses (0 = single-process)")
 	distShards := fs.Int("dist-shards", 0, "target shard count in coordinator mode (0 = one per worker)")
+	checkpointDir := fs.String("checkpoint", "", "coordinator mode: journal committed shards in this directory (resumable with -resume)")
+	resume := fs.Bool("resume", false, "coordinator mode: replay the -checkpoint journal and compute only the missing shards")
+	stallTimeout := fs.Duration("stall-timeout", 0, "coordinator mode: fail a shard attempt after this long without worker progress (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,6 +155,14 @@ func run(args []string) error {
 	// the only difference is who executes the cells.
 	runGrid := neatbound.RunSweep
 	var retrySummary func()
+	if *coordinator == 0 {
+		if *checkpointDir != "" || *resume || *stallTimeout != 0 {
+			return fmt.Errorf("-checkpoint/-resume/-stall-timeout are coordinator-mode flags; add -coordinator W")
+		}
+	}
+	if *resume && *checkpointDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint DIR to resume from")
+	}
 	if *coordinator > 0 {
 		if *workers != 0 {
 			return fmt.Errorf("-workers sizes the single-process job pool; in coordinator mode the fleet size is -coordinator (got -workers %d)", *workers)
@@ -151,41 +174,77 @@ func run(args []string) error {
 		if s := neatbound.SweepShards(grid, *replicates, fleet, *distShards); s < fleet {
 			fleet = s
 		}
-		// Fold coordinator progress into a per-shard reassignment tally,
-		// reported once on stderr after the run — the same counts a
-		// sweepd server surfaces in its job status (shard_retries).
+		// Fold coordinator progress into a per-shard, per-cause
+		// reassignment tally, reported once on stderr after the run — the
+		// same counts a sweepd server surfaces in its job status
+		// (shard_retries) and SSE stream.
 		var retryMu sync.Mutex
-		perShard := make(map[int]int)
+		perShard := make(map[int]map[string]int)
+		resumed := 0
 		opts = append(opts,
 			neatbound.WithWorkers(fleet),
 			neatbound.WithTargetShards(*distShards),
 			neatbound.WithExecutor(newExecutor(fleet)),
+			neatbound.WithStallTimeout(*stallTimeout),
 			neatbound.WithSweepProgress(func(p neatbound.SweepProgress) {
+				retryMu.Lock()
+				defer retryMu.Unlock()
 				if !p.Retried {
+					if p.Reason == neatbound.ShardResumed {
+						resumed++
+					}
 					return
 				}
-				retryMu.Lock()
-				perShard[p.Shard]++
-				retryMu.Unlock()
+				cause := p.Reason
+				if cause == "" {
+					cause = "error"
+				}
+				if perShard[p.Shard] == nil {
+					perShard[p.Shard] = make(map[string]int)
+				}
+				perShard[p.Shard][cause]++
 			}),
 		)
+		if *checkpointDir != "" {
+			opts = append(opts, neatbound.WithCheckpointDir(*checkpointDir))
+			if *resume {
+				opts = append(opts, neatbound.WithResume())
+			}
+		}
 		retrySummary = func() {
 			retryMu.Lock()
 			defer retryMu.Unlock()
+			if resumed > 0 {
+				fmt.Fprintf(os.Stderr, "sweep: coordinator: %d shard(s) served from the checkpoint journal\n", resumed)
+			}
 			if len(perShard) == 0 {
 				fmt.Fprintln(os.Stderr, "sweep: coordinator: every shard committed on its first attempt")
 				return
 			}
 			shards := make([]int, 0, len(perShard))
 			total := 0
-			for s, c := range perShard {
+			for s, causes := range perShard {
 				shards = append(shards, s)
-				total += c
+				for _, c := range causes {
+					total += c
+				}
 			}
 			sort.Ints(shards)
 			fmt.Fprintf(os.Stderr, "sweep: coordinator: %d shard reassignment(s):\n", total)
 			for _, s := range shards {
-				fmt.Fprintf(os.Stderr, "sweep:   shard %d: reassigned %d time(s)\n", s, perShard[s])
+				causes := perShard[s]
+				names := make([]string, 0, len(causes))
+				n := 0
+				for cause, c := range causes {
+					names = append(names, cause)
+					n += c
+				}
+				sort.Strings(names)
+				parts := make([]string, 0, len(names))
+				for _, cause := range names {
+					parts = append(parts, fmt.Sprintf("%s: %d", cause, causes[cause]))
+				}
+				fmt.Fprintf(os.Stderr, "sweep:   shard %d: reassigned %d time(s) (%s)\n", s, n, strings.Join(parts, ", "))
 			}
 		}
 		runGrid = neatbound.RunSweepDistributed

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"neatbound"
@@ -84,5 +86,42 @@ func TestRunBadNuList(t *testing.T) {
 func TestRunBadCList(t *testing.T) {
 	if err := run([]string{"-c", "1,,2", "-rounds", "100"}); err == nil {
 		t.Error("bad c list accepted")
+	}
+}
+
+// TestRunCheckpointResume drives the -checkpoint/-resume flags end to
+// end: a checkpointed coordinator run leaves a shard journal behind,
+// and a -resume rerun against it completes (serving every shard from
+// the journal — byte-identity of resumed grids is pinned in
+// internal/distsweep and the façade tests). The flag-validation
+// refusals ride along.
+func TestRunCheckpointResume(t *testing.T) {
+	orig := newExecutor
+	newExecutor = func(int) neatbound.ShardExecutor { return neatbound.NewInProcessExecutor(0) }
+	defer func() { newExecutor = orig }()
+	dir := t.TempDir()
+	args := []string{
+		"-n", "8", "-delta", "2",
+		"-nu", "0.2,0.3", "-c", "2,10",
+		"-rounds", "200", "-adversary", "max-delay",
+		"-replicates", "2",
+		"-coordinator", "2", "-dist-shards", "3",
+		"-json", "-checkpoint", dir,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "shards.log")); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpointed run left no shard journal (err %v)", err)
+	}
+	if err := run(append(args, "-resume")); err != nil {
+		t.Fatalf("resume rerun: %v", err)
+	}
+
+	if err := run([]string{"-coordinator", "2", "-rounds", "100", "-resume"}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	if err := run([]string{"-rounds", "100", "-checkpoint", t.TempDir()}); err == nil {
+		t.Error("-checkpoint without -coordinator accepted")
 	}
 }

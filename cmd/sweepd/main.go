@@ -20,9 +20,15 @@
 //	curl -X DELETE localhost:8632/jobs/job-1       # cancel
 //
 // -workers sizes each job's worker fleet, -dist-shards the shard
-// granularity, -retries the per-shard reassignment budget (the
-// cmd/sweep coordinator flags, applied server-side). docs/sweepd.md
-// specifies the API, the store layout, and the event schema.
+// granularity, -retries the per-shard reassignment budget, and
+// -stall-timeout the per-shard progress deadline (the cmd/sweep
+// coordinator flags, applied server-side). -journal FILE makes jobs
+// durable: submissions are journalled before they start, and on the
+// next boot the daemon resubmits every job that was still in flight
+// when it died — already-finished cells come from the store, so a
+// restarted job recomputes only what was lost. docs/sweepd.md
+// specifies the API, the store layout, and the event schema;
+// docs/faults.md the crash-recovery contract.
 package main
 
 import (
@@ -65,6 +71,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	workers := fs.Int("workers", 0, "worker fleet size per job (0 = 1)")
 	distShards := fs.Int("dist-shards", 0, "target shard count per dispatch (0 = one per worker)")
 	retries := fs.Int("retries", 0, "per-shard reassignment budget (0 = default 2, negative = disabled)")
+	stallTimeout := fs.Duration("stall-timeout", 0, "declare a shard attempt failed after this long without worker progress (0 = disabled)")
+	respawnBackoff := fs.Duration("respawn-backoff", 0, "base delay before relaunching a failed worker, doubling with jitter (0 = disabled)")
+	journal := fs.String("journal", "", "durable job journal file; unfinished jobs are resubmitted on restart (empty = jobs die with the daemon)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,13 +88,26 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	}
 
 	svc, err := sweepsvc.New(sweepsvc.Options{
-		Store:        st,
-		Workers:      *workers,
-		TargetShards: *distShards,
-		Retries:      *retries,
+		Store:          st,
+		Workers:        *workers,
+		TargetShards:   *distShards,
+		Retries:        *retries,
+		StallTimeout:   *stallTimeout,
+		RespawnBackoff: *respawnBackoff,
+		Journal:        *journal,
 	})
 	if err != nil {
 		return err
+	}
+	if *journal != "" {
+		recovered, err := svc.Recover()
+		if err != nil {
+			svc.Close()
+			return err
+		}
+		for _, st := range recovered {
+			fmt.Fprintf(stderr, "sweepd: recovered unfinished job as %s (%d cells)\n", st.ID, st.CellsTotal)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

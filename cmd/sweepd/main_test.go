@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -110,5 +111,97 @@ func TestServerRejectsBadFlags(t *testing.T) {
 	var stderr bytes.Buffer
 	if err := run(context.Background(), []string{"-no-such-flag"}, &stderr, nil); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestServerJournalRecovery kills the daemon with a job still in
+// flight and checks the next boot (-journal) resubmits it and runs it
+// to the same bytes a never-interrupted submission would have
+// produced.
+func TestServerJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "jobs.log")
+	storeDir := filepath.Join(dir, "store")
+	// Rounds are sized so the job cannot plausibly finish in the gap
+	// between Submit returning and the daemon being told to shut down.
+	grid := neatbound.SweepGrid{N: 10, Delta: 3, NuValues: []float64{0.2}, CValues: []float64{1, 2}}
+	opts := []neatbound.Option{
+		neatbound.WithRounds(50000),
+		neatbound.WithSeed(7),
+		neatbound.WithConsistency(4, 0),
+		neatbound.WithReplicates(2),
+		neatbound.WithAdversaryName("private", neatbound.AdversaryOpts{ForkDepth: 4}),
+	}
+
+	boot := func() (addr string, shutdown func() error, logs *bytes.Buffer) {
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		var stderr bytes.Buffer
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-store", storeDir, "-journal", journal}, &stderr, ready)
+		}()
+		select {
+		case addr = <-ready:
+		case err := <-errc:
+			t.Fatalf("server died before ready: %v\n%s", err, stderr.String())
+		case <-time.After(30 * time.Second):
+			t.Fatalf("server never became ready\n%s", stderr.String())
+		}
+		return addr, func() error {
+			cancel()
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(30 * time.Second):
+				return context.DeadlineExceeded
+			}
+		}, &stderr
+	}
+
+	ctx, cancelCtx := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancelCtx()
+
+	// Life 1: submit and immediately pull the plug.
+	addr, shutdown, _ := boot()
+	client := neatbound.NewSweepClient("http://"+addr, nil)
+	if _, err := client.Submit(ctx, grid, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Life 2: the boot log names the resubmitted job; it must finish
+	// with the never-interrupted bytes.
+	addr, shutdown, logs := boot()
+	defer shutdown()
+	var recoveredID string
+	for _, line := range strings.Split(logs.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "sweepd: recovered unfinished job as "); ok {
+			recoveredID, _, _ = strings.Cut(rest, " ")
+		}
+	}
+	if recoveredID == "" {
+		t.Fatalf("boot log reports no recovered job:\n%s", logs.String())
+	}
+	client = neatbound.NewSweepClient("http://"+addr, nil)
+	cells, err := client.Wait(ctx, recoveredID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := neatbound.RunSweep(ctx, grid, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotBuf, wantBuf bytes.Buffer
+	if err := neatbound.MarshalCells(&gotBuf, cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := neatbound.MarshalCells(&wantBuf, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) {
+		t.Errorf("recovered job's cells differ from cold RunSweep:\ngot:\n%s\nwant:\n%s", gotBuf.Bytes(), wantBuf.Bytes())
 	}
 }

@@ -2,8 +2,10 @@ package neatbound
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"neatbound/internal/distsweep"
 )
@@ -29,6 +31,16 @@ type WorkerConn = distsweep.WorkerConn
 // SweepProgress is the coordinator's report after every committed or
 // failed shard.
 type SweepProgress = distsweep.Progress
+
+// SweepProgress.Reason values: how the coordinator classifies a shard
+// event — a commit replayed from the checkpoint journal, or the cause
+// of a reassignment (docs/faults.md).
+const (
+	ShardResumed = distsweep.ReasonResumed
+	ShardStall   = distsweep.ReasonStall
+	ShardLaunch  = distsweep.ReasonLaunch
+	ShardError   = distsweep.ReasonError
+)
 
 // NewInProcessExecutor runs workers as goroutines inside this process,
 // wired through in-memory pipes — the full shard protocol without
@@ -115,6 +127,48 @@ func WithSweepProgress(fn func(SweepProgress)) Option {
 		apply: func(o *runOptions) { o.onSweepProgress = fn }}
 }
 
+// WithCheckpointDir makes the sweep durable: every committed shard's
+// cell stream is persisted (fsynced before the shard is announced) to a
+// shard-checkpoint journal in dir, content-addressed by the sweep's
+// semantic key. A sweep killed mid-run can then be continued with
+// WithResume against the same directory; docs/faults.md states the full
+// contract. RunSweepDistributed only.
+func WithCheckpointDir(dir string) Option {
+	return Option{name: "WithCheckpointDir", scope: scopeDist,
+		apply: func(o *runOptions) { o.checkpointDir = dir }}
+}
+
+// WithResume replays the checkpoint journal's committed shards at
+// startup and dispatches only the remainder — the reassembled grid is
+// byte-identical to a never-interrupted run. The journal must belong to
+// this exact sweep (same grid, seed, rounds, adversary, partitioning —
+// only throughput knobs may differ); anything else is refused, never
+// merged. Requires WithCheckpointDir. RunSweepDistributed only.
+func WithResume() Option {
+	return Option{name: "WithResume", scope: scopeDist,
+		apply: func(o *runOptions) { o.resume = true }}
+}
+
+// WithStallTimeout declares an in-flight shard attempt failed when its
+// worker makes no record progress for d (wall clock; 0, the default,
+// disables stall detection). The attempt is torn down and requeued under
+// the retry budget, so one hung worker cannot wedge the sweep.
+// RunSweepDistributed only.
+func WithStallTimeout(d time.Duration) Option {
+	return Option{name: "WithStallTimeout", scope: scopeDist,
+		apply: func(o *runOptions) { o.stallTimeout = d }}
+}
+
+// WithRespawnBackoff sets the base delay before relaunching a worker
+// after a failure; consecutive failures on one worker slot back off
+// exponentially with jitter (0, the default, disables backoff). The
+// backoff clock is wall time, outside every simulation RNG stream.
+// RunSweepDistributed only.
+func WithRespawnBackoff(base time.Duration) Option {
+	return Option{name: "WithRespawnBackoff", scope: scopeDist,
+		apply: func(o *runOptions) { o.respawnBackoff = base }}
+}
+
 // RunSweepDistributed executes a (ν × c) grid by partitioning it across
 // workers — RunSweep's cross-process sibling. The grid is cut into
 // shard specs (contiguous ν-slices, then replicate ranges), dispatched
@@ -164,12 +218,27 @@ func RunSweepDistributed(ctx context.Context, grid SweepGrid, opts ...Option) ([
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return distsweep.Run(ctx, s, distsweep.Options{
-		Workers:    workers,
-		Shards:     o.targetShards,
-		Retries:    o.shardRetries,
-		Executor:   o.executor,
-		OnProgress: o.onSweepProgress,
-		OnCell:     o.onCell,
-	})
+	dopts := distsweep.Options{
+		Workers:        workers,
+		Shards:         o.targetShards,
+		Retries:        o.shardRetries,
+		Executor:       o.executor,
+		StallTimeout:   o.stallTimeout,
+		RespawnBackoff: o.respawnBackoff,
+		OnProgress:     o.onSweepProgress,
+		OnCell:         o.onCell,
+	}
+	if o.resume && o.checkpointDir == "" {
+		return nil, fmt.Errorf("neatbound: WithResume requires WithCheckpointDir")
+	}
+	if o.checkpointDir != "" {
+		cp, err := distsweep.OpenCheckpoint(o.checkpointDir)
+		if err != nil {
+			return nil, err
+		}
+		defer cp.Close()
+		dopts.Checkpoint = cp
+		dopts.Resume = o.resume
+	}
+	return distsweep.Run(ctx, s, dopts)
 }

@@ -1,0 +1,193 @@
+package distsweep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+)
+
+// ChaosExecutor wraps another Executor with a deterministic, seeded
+// fault schedule — the harness behind `make test-chaos`. Each connection
+// it hands out is either clean or carries exactly one scheduled fault
+// drawn from the failure modes the coordinator promises to survive
+// (docs/faults.md):
+//
+//   - spawn failure — Start itself errors (exercises launch
+//     classification and respawn backoff);
+//   - kill — the record stream dies mid-shard after K records (a worker
+//     crash);
+//   - hang — the stream stops making progress after K records and stays
+//     wedged until the coordinator tears the connection down (exercises
+//     the stall watchdog; runs need Options.StallTimeout or they wedge);
+//   - truncate — the stream ends mid-record (a torn write);
+//   - corrupt — one record's bytes are flipped (a framing error).
+//
+// Determinism: connection i's entire behavior — fault mode and trigger
+// point — is a pure function of (Seed, i), with i assigned in Start
+// order by an atomic counter. Goroutine interleaving can change which
+// shard lands on which connection, but the multiset of injected faults
+// is fixed by the seed, and the coordinator's contract (exactly-once
+// commits, order-independent reassembly) makes the final grid
+// byte-identical to a fault-free run regardless — which is exactly what
+// the chaos soak asserts. No draw here touches the simulation's seeded
+// RNG streams.
+type ChaosExecutor struct {
+	// Inner launches the real workers.
+	Inner Executor
+	// Seed fixes the entire fault schedule.
+	Seed uint64
+	// MaxRecords bounds the "after K records" trigger draw (0 = 8).
+	MaxRecords int
+
+	next atomic.Uint64
+}
+
+// Chaos fault modes; chaosClean occupies several slots of the draw so
+// roughly 3 in 8 connections are clean and every sweep keeps making
+// progress within a finite retry budget.
+const (
+	chaosClean = iota
+	chaosSpawnFail
+	chaosKill
+	chaosHang
+	chaosTruncate
+	chaosCorrupt
+)
+
+// plan draws connection idx's fault schedule.
+func (e *ChaosExecutor) plan(idx uint64) (mode, after int) {
+	rng := rand.New(rand.NewPCG(e.Seed, idx))
+	maxRec := e.MaxRecords
+	if maxRec <= 0 {
+		maxRec = 8
+	}
+	switch rng.IntN(8) {
+	case 0:
+		mode = chaosSpawnFail
+	case 1:
+		mode = chaosKill
+	case 2:
+		mode = chaosHang
+	case 3:
+		mode = chaosTruncate
+	case 4:
+		mode = chaosCorrupt
+	default:
+		mode = chaosClean
+	}
+	return mode, 1 + rng.IntN(maxRec)
+}
+
+// Start implements Executor.
+func (e *ChaosExecutor) Start(ctx context.Context, id int) (*WorkerConn, error) {
+	idx := e.next.Add(1) - 1
+	mode, after := e.plan(idx)
+	if mode == chaosSpawnFail {
+		return nil, fmt.Errorf("chaos: connection %d refuses to spawn (seed %d)", idx, e.Seed)
+	}
+	conn, err := e.Inner.Start(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if mode == chaosClean {
+		return conn, nil
+	}
+	cr := &chaosReader{inner: conn.Out, idx: idx, mode: mode, after: after, hung: make(chan struct{})}
+	out := &WorkerConn{
+		In:   conn.In,
+		Out:  cr,
+		Wait: conn.Wait,
+		Diag: conn.Diag,
+		// Kill must first unwedge a hang fault (a reader blocked on
+		// cr.hung), then tear the real worker down.
+		Kill: func() error {
+			cr.release()
+			return conn.Abort()
+		},
+	}
+	return out, nil
+}
+
+// chaosReader injects one scheduled fault into a worker's record
+// stream: it passes bytes through counting record terminators, and once
+// `after` records have passed, fires its mode.
+type chaosReader struct {
+	inner io.Reader
+	idx   uint64
+	mode  int
+	after int // records still to pass through cleanly
+
+	hung      chan struct{}
+	unhang    sync.Once
+	fired     bool
+	corrupted bool
+}
+
+// release unwedges a hang fault (called from Kill).
+func (r *chaosReader) release() {
+	r.unhang.Do(func() { close(r.hung) })
+}
+
+func (r *chaosReader) Read(p []byte) (int, error) {
+	if r.fired {
+		switch r.mode {
+		case chaosKill:
+			return 0, fmt.Errorf("chaos: connection %d killed mid-stream", r.idx)
+		case chaosHang:
+			// Wedge until the coordinator (stall watchdog) aborts us.
+			<-r.hung
+			return 0, fmt.Errorf("chaos: connection %d hung and was torn down", r.idx)
+		case chaosTruncate:
+			return 0, io.EOF
+		}
+		// chaosCorrupt after the trigger: pass through, flipping the
+		// first byte once if the trigger fired at a buffer boundary. The
+		// coordinator kills the connection when the bad record surfaces.
+		n, err := r.inner.Read(p)
+		if !r.corrupted && n > 0 {
+			p[0] ^= 0x01
+			r.corrupted = true
+		}
+		return n, err
+	}
+	n, err := r.inner.Read(p)
+	if n == 0 {
+		return n, err
+	}
+	// Count record terminators toward the trigger.
+	for i := 0; i < n; i++ {
+		if p[i] != '\n' {
+			continue
+		}
+		r.after--
+		if r.after > 0 {
+			continue
+		}
+		r.fired = true
+		switch r.mode {
+		case chaosKill, chaosHang:
+			// Deliver up to the boundary; the fault fires on the next
+			// Read.
+			return i + 1, err
+		case chaosTruncate:
+			// Cut mid-record: drop the terminator and the record's last
+			// byte, then EOF.
+			if i > 0 {
+				return i - 1, err
+			}
+			return 0, io.EOF
+		case chaosCorrupt:
+			// Flip the first byte of the next record if it is already in
+			// this buffer; otherwise flip the first byte of the next Read.
+			if i+1 < n {
+				p[i+1] ^= 0x01
+				r.corrupted = true
+			}
+			return n, err
+		}
+	}
+	return n, err
+}

@@ -1,0 +1,415 @@
+package distsweep
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"neatbound/internal/sweep"
+)
+
+// chaosStall is generous against race-detector slowdowns: a real cell
+// computes in milliseconds, so only a genuinely wedged stream waits this
+// long.
+const chaosStall = 2 * time.Second
+
+// TestChaosSoak is the seeded fault-injection soak: the full fault
+// palette (spawn failures, mid-stream kills, hangs, truncations, bit
+// flips) driven by a deterministic schedule, asserting the two promises
+// of docs/faults.md — every cell commits exactly once, and the final
+// grid is byte-identical to a fault-free cold run. The failing seed is
+// in every error message; rerun with the same seed to reproduce.
+func TestChaosSoak(t *testing.T) {
+	s := testSweep()
+	want := cellsJSON(t, referenceCells(t, s))
+	for _, seed := range []uint64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ex := &ChaosExecutor{Inner: InProcess{}, Seed: seed}
+			var mu sync.Mutex
+			commits := make(map[cellKey]int)
+			var retried, stalls, launches int
+			cells, err := Run(context.Background(), s, Options{
+				Workers:        3,
+				Shards:         5,
+				Retries:        100,
+				StallTimeout:   chaosStall,
+				RespawnBackoff: time.Millisecond,
+				Executor:       ex,
+				OnCell: func(c sweep.AggregateCell) {
+					mu.Lock()
+					commits[cellKey{c.Nu, c.C}]++
+					mu.Unlock()
+				},
+				OnProgress: func(p Progress) {
+					if !p.Retried {
+						return
+					}
+					mu.Lock()
+					retried++
+					switch p.Reason {
+					case ReasonStall:
+						stalls++
+					case ReasonLaunch:
+						launches++
+					}
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatalf("chaos seed %d: %v", seed, err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			nCells := len(s.NuValues) * len(s.CValues)
+			if len(commits) != nCells {
+				t.Errorf("chaos seed %d: %d cells committed, want %d", seed, len(commits), nCells)
+			}
+			for k, n := range commits {
+				if n != 1 {
+					t.Errorf("chaos seed %d: cell (ν=%g, c=%g) committed %d times, want exactly once", seed, k.nu, k.c, n)
+				}
+			}
+			if got := cellsJSON(t, cells); got != want {
+				t.Errorf("chaos seed %d: grid differs from fault-free cold run\ngot:\n%s\nwant:\n%s", seed, got, want)
+			}
+			t.Logf("chaos seed %d: %d retries (%d stalls, %d launch failures)", seed, retried, stalls, launches)
+		})
+	}
+}
+
+// TestChaosCheckpointResume layers the two tentpole halves: a
+// checkpointed sweep killed mid-run under fault injection, resumed under
+// a different fault schedule, must still land byte-identical.
+func TestChaosCheckpointResume(t *testing.T) {
+	s := testSweep()
+	want := cellsJSON(t, referenceCells(t, s))
+	dir := t.TempDir()
+
+	cp, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var commits atomic.Int64
+	_, err = Run(ctx, s, Options{
+		Workers: 2, Shards: 5, Retries: 100,
+		StallTimeout:   chaosStall,
+		RespawnBackoff: time.Millisecond,
+		Checkpoint:     cp,
+		Executor:       &ChaosExecutor{Inner: InProcess{}, Seed: 11},
+		OnProgress: func(p Progress) {
+			if !p.Retried && commits.Add(1) == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted chaos run: err = %v, want context.Canceled", err)
+	}
+	cp.Close()
+
+	cp2 := openCheckpoint(t, dir)
+	if cp2.Shards() == 0 {
+		t.Fatal("interrupted chaos run checkpointed nothing")
+	}
+	cells, err := Run(context.Background(), s, Options{
+		Workers: 2, Shards: 5, Retries: 100,
+		StallTimeout:   chaosStall,
+		RespawnBackoff: time.Millisecond,
+		Checkpoint:     cp2, Resume: true,
+		Executor: &ChaosExecutor{Inner: InProcess{}, Seed: 12},
+	})
+	if err != nil {
+		t.Fatalf("resumed chaos run (seeds 11→12): %v", err)
+	}
+	if got := cellsJSON(t, cells); got != want {
+		t.Errorf("chaos-resumed grid differs from cold run (seeds 11→12)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// hangOnceExecutor's first connection accepts the shard request and then
+// never produces a byte — a wedged worker only the stall watchdog can
+// unstick. Later connections are real.
+type hangOnceExecutor struct {
+	inner   Executor
+	started atomic.Int32
+}
+
+func (e *hangOnceExecutor) Start(ctx context.Context, id int) (*WorkerConn, error) {
+	if e.started.Add(1) > 1 {
+		return e.inner.Start(ctx, id)
+	}
+	specR, specW := io.Pipe()
+	outR, outW := io.Pipe()
+	go io.Copy(io.Discard, specR) // swallow requests, answer nothing
+	return &WorkerConn{
+		In:  specW,
+		Out: outR,
+		Kill: func() error {
+			outW.CloseWithError(errors.New("hung worker torn down"))
+			specR.CloseWithError(errors.New("hung worker torn down"))
+			return nil
+		},
+	}, nil
+}
+
+func TestStallDetectionRequeuesShard(t *testing.T) {
+	s := cheapSweep()
+	want := cellsJSON(t, referenceCells(t, s))
+	var mu sync.Mutex
+	var stallEvents []Progress
+	cells, err := Run(context.Background(), s, Options{
+		Workers:      1,
+		Shards:       2,
+		StallTimeout: 100 * time.Millisecond,
+		Executor:     &hangOnceExecutor{inner: InProcess{}},
+		OnProgress: func(p Progress) {
+			if p.Retried {
+				mu.Lock()
+				stallEvents = append(stallEvents, p)
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run with a hung worker: %v", err)
+	}
+	if got := cellsJSON(t, cells); got != want {
+		t.Errorf("grid after stall recovery differs\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(stallEvents) == 0 {
+		t.Fatal("hung worker produced no retry events")
+	}
+	p := stallEvents[0]
+	if !p.Stalled || p.Reason != ReasonStall {
+		t.Errorf("retry event after a hang: Stalled=%v Reason=%q, want Stalled=true Reason=%q", p.Stalled, p.Reason, ReasonStall)
+	}
+}
+
+// failNExecutor refuses its first `failFirst` launches.
+type failNExecutor struct {
+	inner     Executor
+	failFirst int32
+	started   atomic.Int32
+}
+
+func (e *failNExecutor) Start(ctx context.Context, id int) (*WorkerConn, error) {
+	if e.started.Add(1) <= e.failFirst {
+		return nil, errors.New("spawn refused")
+	}
+	return e.inner.Start(ctx, id)
+}
+
+func TestLaunchFailureBacksOffAndRecovers(t *testing.T) {
+	s := cheapSweep()
+	want := cellsJSON(t, referenceCells(t, s))
+	var mu sync.Mutex
+	var launchRetries int
+	start := time.Now()
+	cells, err := Run(context.Background(), s, Options{
+		Workers:        1,
+		Shards:         2,
+		Retries:        5,
+		RespawnBackoff: 20 * time.Millisecond,
+		Executor:       &failNExecutor{inner: InProcess{}, failFirst: 2},
+		OnProgress: func(p Progress) {
+			if p.Retried && p.Reason == ReasonLaunch {
+				mu.Lock()
+				launchRetries++
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run with failing launches: %v", err)
+	}
+	if got := cellsJSON(t, cells); got != want {
+		t.Errorf("grid after launch failures differs\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if launchRetries != 2 {
+		t.Errorf("%d launch-classified retries, want 2", launchRetries)
+	}
+	// Two backoffs before the successful third launch: ≥ 10ms (jittered
+	// half of 20ms) + ≥ 20ms (half of 40ms).
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("run finished in %v; respawn backoff (≥30ms of floors) did not apply", elapsed)
+	}
+}
+
+// permanentExecutor's workers reject every spec with a permanent
+// summary — the worker understood the request and refused it.
+type permanentExecutor struct{}
+
+func (permanentExecutor) Start(ctx context.Context, id int) (*WorkerConn, error) {
+	specR, specW := io.Pipe()
+	outR, outW := io.Pipe()
+	go func() {
+		sc := bufio.NewScanner(specR)
+		enc := json.NewEncoder(outW)
+		for sc.Scan() {
+			var req requestRecord
+			if err := json.Unmarshal(sc.Bytes(), &req); err != nil || req.Spec == nil {
+				break
+			}
+			enc.Encode(summaryRecord{Summary: &ShardSummary{
+				V: SpecVersion, Shard: req.Spec.Shard,
+				Error: "spec rejected: simulated version mismatch", Permanent: true,
+			}})
+		}
+		outW.Close()
+		specR.Close()
+	}()
+	return &WorkerConn{In: specW, Out: outR}, nil
+}
+
+func TestPermanentFailureFailsFastWithoutRetries(t *testing.T) {
+	var retriedEvents atomic.Int32
+	_, err := Run(context.Background(), cheapSweep(), Options{
+		Workers:  1,
+		Shards:   2,
+		Retries:  100, // would take forever if the budget were consumed
+		Executor: permanentExecutor{},
+		OnProgress: func(p Progress) {
+			if p.Retried {
+				retriedEvents.Add(1)
+			}
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "failed permanently") {
+		t.Fatalf("permanent rejection: err = %v, want a fast permanent failure", err)
+	}
+	if n := retriedEvents.Load(); n != 0 {
+		t.Errorf("permanent failure burned %d retries, want 0", n)
+	}
+}
+
+// TestHelperStderrWorkerProcess is relaunched by the stderr-tail test:
+// it writes a recognizable diagnostic to stderr and dies.
+func TestHelperStderrWorkerProcess(t *testing.T) {
+	if os.Getenv("DISTSWEEP_STDERR_WORKER") != "1" {
+		t.Skip("helper process, only meaningful when relaunched by TestSubprocessFailureCarriesStderrTail")
+	}
+	fmt.Fprintln(os.Stderr, "worker diagnostic: engine exploded spectacularly")
+	os.Exit(3)
+}
+
+func TestSubprocessFailureCarriesStderrTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker subprocesses")
+	}
+	_, err := Run(context.Background(), cheapSweep(), Options{
+		Workers: 1,
+		Shards:  2,
+		Retries: -1, // first failure is final, so the tail surfaces in the error
+		Executor: Subprocess{
+			Path:   os.Args[0],
+			Args:   []string{"-test.run=^TestHelperStderrWorkerProcess$"},
+			Env:    append(os.Environ(), "DISTSWEEP_STDERR_WORKER=1"),
+			Stderr: io.Discard, // the tail must come from the Diag capture, not passthrough
+		},
+	})
+	if err == nil {
+		t.Fatal("dead-on-arrival worker succeeded")
+	}
+	if !strings.Contains(err.Error(), "worker stderr tail") ||
+		!strings.Contains(err.Error(), "engine exploded spectacularly") {
+		t.Errorf("failure error lacks the worker's stderr tail:\n%v", err)
+	}
+}
+
+// TestHelperKill9WorkerProcess is relaunched by the kill-9 test: it
+// serves the shard protocol but SIGKILLs itself after two records — once
+// (a latch file makes every later incarnation clean).
+func TestHelperKill9WorkerProcess(t *testing.T) {
+	if os.Getenv("DISTSWEEP_KILL9_WORKER") != "1" {
+		t.Skip("helper process, only meaningful when relaunched by TestSubprocessKill9Reassigned")
+	}
+	w := &kill9Writer{w: os.Stdout, latch: os.Getenv("DISTSWEEP_KILL9_LATCH"), after: 2}
+	if err := ServeWorker(context.Background(), os.Stdin, w, WorkerOptions{}); err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// kill9Writer counts record lines through to w and, once `after` have
+// passed and the latch file does not exist yet, creates it and SIGKILLs
+// the process — an un-catchable kill mid-stream, deterministic and
+// one-time across worker respawns.
+type kill9Writer struct {
+	w     io.Writer
+	latch string
+	after int
+	lines int
+}
+
+func (k *kill9Writer) Write(p []byte) (int, error) {
+	n, err := k.w.Write(p)
+	for i := 0; i < n; i++ {
+		if p[i] != '\n' {
+			continue
+		}
+		k.lines++
+		if k.lines == k.after {
+			if f, cerr := os.OpenFile(k.latch, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644); cerr == nil {
+				f.Close()
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	return n, err
+}
+
+func TestSubprocessKill9Reassigned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker subprocesses")
+	}
+	s := cheapSweep()
+	want := cellsJSON(t, referenceCells(t, s))
+	latch := fmt.Sprintf("%s/killed", t.TempDir())
+	var retries atomic.Int32
+	cells, err := Run(context.Background(), s, Options{
+		Workers: 1,
+		Shards:  2,
+		Executor: Subprocess{
+			Path: os.Args[0],
+			Args: []string{"-test.run=^TestHelperKill9WorkerProcess$"},
+			Env: append(os.Environ(),
+				"DISTSWEEP_KILL9_WORKER=1",
+				"DISTSWEEP_KILL9_LATCH="+latch),
+			Stderr: io.Discard,
+		},
+		OnProgress: func(p Progress) {
+			if p.Retried {
+				retries.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run with a kill-9'd worker: %v", err)
+	}
+	if got := cellsJSON(t, cells); got != want {
+		t.Errorf("grid after kill-9 recovery differs\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if retries.Load() < 1 {
+		t.Error("kill-9'd worker recorded no retries")
+	}
+	if _, err := os.Stat(latch); err != nil {
+		t.Errorf("latch file missing — the worker never killed itself: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sync"
 )
 
 // WorkerConn is the coordinator's handle on one live worker: shard-spec
@@ -25,6 +26,13 @@ type WorkerConn struct {
 	// waiting for it to finish what it is doing, then reaps it. Abort
 	// falls back to Close when Kill is nil.
 	Kill func() error
+	// Diag, when non-nil, returns a bounded diagnostic snapshot of the
+	// worker — Subprocess wires it to a tail of the child's recent
+	// stderr — which the coordinator appends to shard-failure errors so
+	// a dead subprocess reports more than a bare pipe error. Safe to
+	// call concurrently with the worker running. (Add-only, like every
+	// WorkerConn field: a nil Diag just means no diagnostics.)
+	Diag func() string
 }
 
 // Close shuts the worker down gracefully: it closes In (the protocol's
@@ -77,8 +85,46 @@ type Subprocess struct {
 	// Env, when non-nil, replaces the child's environment.
 	Env []string
 	// Stderr receives worker stderr; nil passes it through to the
-	// coordinator's.
+	// coordinator's. Independently of where the full stream goes, each
+	// connection keeps a bounded tail of it for WorkerConn.Diag, so a
+	// worker's dying words ride along in shard-failure errors.
 	Stderr io.Writer
+	// TailBytes bounds each connection's retained stderr tail
+	// (0 = 4 KiB).
+	TailBytes int
+}
+
+// stderrTail tees a worker's stderr: every write passes through to the
+// underlying sink and the last `limit` bytes are retained for Diag.
+// Writes (the child's stderr pump) and Tail (the coordinator building a
+// failure error) race, hence the lock.
+type stderrTail struct {
+	sink  io.Writer
+	limit int
+
+	mu      sync.Mutex
+	buf     []byte
+	clipped bool
+}
+
+func (t *stderrTail) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.limit {
+		t.buf = t.buf[len(t.buf)-t.limit:]
+		t.clipped = true
+	}
+	t.mu.Unlock()
+	return t.sink.Write(p)
+}
+
+func (t *stderrTail) Tail() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.clipped {
+		return "…" + string(t.buf)
+	}
+	return string(t.buf)
 }
 
 // Start implements Executor.
@@ -95,10 +141,16 @@ func (e Subprocess) Start(ctx context.Context, id int) (*WorkerConn, error) {
 	if e.Env != nil {
 		cmd.Env = e.Env
 	}
-	cmd.Stderr = e.Stderr
-	if cmd.Stderr == nil {
-		cmd.Stderr = os.Stderr
+	sink := e.Stderr
+	if sink == nil {
+		sink = os.Stderr
 	}
+	limit := e.TailBytes
+	if limit <= 0 {
+		limit = 4096
+	}
+	tail := &stderrTail{sink: sink, limit: limit}
+	cmd.Stderr = tail
 	in, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, fmt.Errorf("distsweep: worker %d stdin: %w", id, err)
@@ -126,6 +178,7 @@ func (e Subprocess) Start(ctx context.Context, id int) (*WorkerConn, error) {
 			cmd.Process.Kill()
 			return cmd.Wait()
 		},
+		Diag: tail.Tail,
 	}, nil
 }
 

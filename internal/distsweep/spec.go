@@ -222,6 +222,13 @@ type ShardSummary struct {
 	// (an infeasible parameterization, say) travel in the cell records
 	// themselves and do not fail the shard.
 	Error string `json:"error,omitempty"`
+	// Permanent marks an Error no retry can fix — the worker understood
+	// the spec and rejected it (validation failure, unknown adversary
+	// name, a spec version newer than the worker). The coordinator fails
+	// the sweep immediately instead of burning its retry budget. Added
+	// under the interchange's add-only rule: absent decodes to false, so
+	// older workers' failures simply stay retryable.
+	Permanent bool `json:"permanent,omitempty"`
 }
 
 // requestRecord frames a shard spec on the coordinator → worker stream.

@@ -79,15 +79,22 @@ func runShard(ctx context.Context, spec ShardSpec, opts WorkerOptions, enc *json
 		sum.Error = err.Error()
 		return sum
 	}
-	if err := spec.validate(); err != nil {
+	// failPerm marks a failure no retry can fix: the spec itself is
+	// unacceptable (validation, version, adversary name), so the
+	// coordinator should fail fast instead of spending its retry budget.
+	failPerm := func(err error) ShardSummary {
+		sum.Permanent = true
 		return fail(err)
+	}
+	if err := spec.validate(); err != nil {
+		return failPerm(err)
 	}
 	var factory func() engine.Adversary
 	if spec.Adversary != "" {
 		// Validate the name once up front; the per-cell factory then
 		// cannot fail.
 		if _, err := adversary.ByName(spec.Adversary, spec.ForkDepth); err != nil {
-			return fail(err)
+			return failPerm(err)
 		}
 		name, forkDepth := spec.Adversary, spec.ForkDepth
 		factory = func() engine.Adversary {

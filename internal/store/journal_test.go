@@ -1,0 +1,146 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openCollect opens the journal at path collecting every clean line.
+func openCollect(t *testing.T, path string, check func(line []byte) error) (*Journal, []string) {
+	t.Helper()
+	var lines []string
+	j, err := OpenJournal(path, func(off int64, line []byte) error {
+		if check != nil {
+			if err := check(line); err != nil {
+				return err
+			}
+		}
+		lines = append(lines, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, lines
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, _ := openCollect(t, path, nil)
+	offs := make([]int64, 0, 3)
+	for i := 0; i < 3; i++ {
+		off, n, err := j.Append([]byte(fmt.Sprintf(`{"i":%d}`, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(len(`{"i":0}`)+1) {
+			t.Fatalf("record %d length %d", i, n)
+		}
+		offs = append(offs, off)
+	}
+	buf := make([]byte, 8)
+	if _, err := j.ReadAt(buf, offs[1]); err != nil || string(buf) != "{\"i\":1}\n" {
+		t.Fatalf("ReadAt: %q, %v", buf, err)
+	}
+	j.Close()
+
+	j2, lines := openCollect(t, path, nil)
+	if j2.TailDropped() {
+		t.Error("clean journal reported a dropped tail")
+	}
+	if len(lines) != 3 || lines[2] != `{"i":2}` {
+		t.Fatalf("replayed %v", lines)
+	}
+}
+
+func TestJournalRejectsEmbeddedNewline(t *testing.T) {
+	j, _ := openCollect(t, filepath.Join(t.TempDir(), "j.log"), nil)
+	if _, _, err := j.Append([]byte("a\nb")); err == nil {
+		t.Fatal("record with embedded newline accepted")
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	for name, tail := range map[string]string{
+		"cut-mid-bytes": "{\"i\":9",       // no newline
+		"unterminated":  "{\"i\":9}",      // parseable but no newline: never committed
+		"garbage-line":  "NOT JSON AT\n",  // terminated but malformed: callback flags it
+		"binary-tail":   "\x00{\"i\":9\n", // terminated, unparseable
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "j.log")
+			j, _ := openCollect(t, path, nil)
+			j.Append([]byte(`{"i":1}`))
+			j.Append([]byte(`{"i":2}`))
+			clean := j.Size()
+			j.Close()
+			f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+			f.WriteString(tail)
+			f.Close()
+
+			check := func(line []byte) error {
+				if !strings.HasPrefix(string(line), `{"i":`) {
+					return ErrMalformed
+				}
+				return nil
+			}
+			j2, lines := openCollect(t, path, check)
+			if !j2.TailDropped() {
+				t.Error("torn tail not reported")
+			}
+			if len(lines) != 2 {
+				t.Fatalf("replayed %d records, want 2", len(lines))
+			}
+			if j2.Size() != clean {
+				t.Errorf("size %d after truncation, want %d", j2.Size(), clean)
+			}
+			// The truncation is durable: a third open sees a clean log.
+			j2.Close()
+			j3, _ := openCollect(t, path, check)
+			if j3.TailDropped() {
+				t.Error("second open still reports a torn tail")
+			}
+		})
+	}
+}
+
+func TestJournalMidFileCorruptionFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, _ := openCollect(t, path, nil)
+	j.Append([]byte(`{"i":1}`))
+	j.Close()
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString("GARBAGE\n")
+	f.WriteString(`{"i":2}` + "\n")
+	f.Close()
+
+	_, err := OpenJournal(path, func(off int64, line []byte) error {
+		if !strings.HasPrefix(string(line), `{"i":`) {
+			return ErrMalformed
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-file corruption: got %v", err)
+	}
+}
+
+func TestJournalHardCallbackErrorAborts(t *testing.T) {
+	// A record that parses but is unacceptable (e.g. a newer version) is
+	// not torn even at the tail: it committed, and truncating it would
+	// destroy data a newer reader could use.
+	path := filepath.Join(t.TempDir(), "j.log")
+	j, _ := openCollect(t, path, nil)
+	j.Append([]byte(`{"v":99}`))
+	j.Close()
+	sentinel := errors.New("too new")
+	_, err := OpenJournal(path, func(off int64, line []byte) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("hard callback error: got %v", err)
+	}
+}

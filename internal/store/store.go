@@ -4,8 +4,10 @@
 // produced them (sweep.CellJob.Key — params, ν, per-replicate seeds,
 // replicates, engine-semantics version). It is the memoization layer
 // behind the sweep service — identical cells requested by many users are
-// computed once and served from here — and the seam a future
-// checkpoint/resume coordinator persists committed shard summaries into.
+// computed once and served from here — and its append-only Journal is
+// the crash-safety primitive the other fault-tolerance logs reuse
+// (distsweep's shard-checkpoint journal, sweepd's job journal;
+// docs/faults.md states the shared discipline).
 //
 // # Layout and durability
 //
@@ -17,10 +19,10 @@
 // where cell is the interchange cell record (docs/interchange.md) and
 // sum is the CRC-32C of "<key>\n<cell bytes>" — so a payload spliced
 // under the wrong key fails verification just like a flipped bit.
-// Appends are single-writer (an internal mutex serializes them), each
-// record is written in one Write call and fsynced before Put returns,
-// and the in-memory key → offset index is rebuilt by scanning the log
-// on Open.
+// Appends are single-writer, each record is written in one Write call
+// and fsynced before Put returns, and the in-memory key → offset index
+// is rebuilt by scanning the log on Open. (All of this is the Journal
+// type's contract; Store layers the cell schema and index on top.)
 //
 // Crash safety: the only partial state a crash can leave is a torn tail
 // — a final record missing its newline or cut mid-bytes. Open detects
@@ -87,8 +89,7 @@ type OpenStats struct {
 // for layout, durability, and ownership.
 type Store struct {
 	mu    sync.Mutex
-	f     *os.File
-	size  int64
+	j     *Journal
 	index map[string]loc
 	stats OpenStats
 }
@@ -101,64 +102,25 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
-	path := filepath.Join(dir, logName)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open %s: %w", path, err)
-	}
-	s := &Store{f: f, index: make(map[string]loc)}
-	if err := s.scan(); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return s, nil
-}
-
-// scan rebuilds the index from the log, truncating a torn tail.
-func (s *Store) scan() error {
-	data, err := os.ReadFile(s.f.Name())
-	if err != nil {
-		return fmt.Errorf("store: scan %s: %w", s.f.Name(), err)
-	}
-	off := int64(0)
-	truncateTail := func() error {
-		// Torn tail: truncate back to the last clean record.
-		if err := s.f.Truncate(off); err != nil {
-			return fmt.Errorf("store: truncate torn tail at %d: %w", off, err)
-		}
-		s.stats.TailDropped = true
-		s.size = off
-		return nil
-	}
-	for len(data) > 0 {
-		nl := bytes.IndexByte(data, '\n')
-		if nl < 0 {
-			// No newline: the append was cut before the record's
-			// terminator, so the record never committed — even if its
-			// bytes happen to parse.
-			return truncateTail()
-		}
+	s := &Store{index: make(map[string]loc)}
+	j, err := OpenJournal(filepath.Join(dir, logName), func(off int64, line []byte) error {
 		var rec record
-		if err := json.Unmarshal(data[:nl], &rec); err != nil || rec.Key == "" || len(rec.Cell) == 0 {
-			if len(data) > nl+1 {
-				// A malformed record with records after it is not a torn
-				// append — it is corruption, and dropping it silently
-				// would hide it.
-				return fmt.Errorf("store: corrupt record at offset %d in %s", off, s.f.Name())
-			}
-			return truncateTail()
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" || len(rec.Cell) == 0 {
+			return ErrMalformed
 		}
 		if rec.V > recordVersion {
-			return fmt.Errorf("store: record at offset %d has version %d, newer than this store's %d", off, rec.V, recordVersion)
+			return fmt.Errorf("version %d is newer than this store's %d", rec.V, recordVersion)
 		}
-		n := int64(nl + 1)
-		s.index[rec.Key] = loc{off: off, n: n}
+		s.index[rec.Key] = loc{off: off, n: int64(len(line) + 1)}
 		s.stats.Cells++
-		off += n
-		data = data[nl+1:]
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	s.size = off
-	return nil
+	s.j = j
+	s.stats.TailDropped = j.TailDropped()
+	return s, nil
 }
 
 // Stats returns what Open found (and, via Cells, the live count).
@@ -211,22 +173,17 @@ func (s *Store) Put(key string, cell sweep.AggregateCell) error {
 	if err != nil {
 		return fmt.Errorf("store: encode record for %s: %w", key, err)
 	}
-	line = append(line, '\n')
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.index[key]; dup {
 		return nil
 	}
-	n, err := s.f.WriteAt(line, s.size)
+	off, n, err := s.j.Append(line)
 	if err != nil {
 		return fmt.Errorf("store: append %s: %w", key, err)
 	}
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("store: sync %s: %w", key, err)
-	}
-	s.index[key] = loc{off: s.size, n: int64(n)}
-	s.size += int64(n)
+	s.index[key] = loc{off: off, n: n}
 	return nil
 }
 
@@ -237,13 +194,13 @@ func (s *Store) Put(key string, cell sweep.AggregateCell) error {
 func (s *Store) Get(key string) (sweep.AggregateCell, bool, error) {
 	s.mu.Lock()
 	l, ok := s.index[key]
-	f := s.f
+	j := s.j
 	s.mu.Unlock()
 	if !ok {
 		return sweep.AggregateCell{}, false, nil
 	}
 	line := make([]byte, l.n)
-	if _, err := f.ReadAt(line, l.off); err != nil {
+	if _, err := j.ReadAt(line, l.off); err != nil {
 		return sweep.AggregateCell{}, false, fmt.Errorf("store: read %s: %w", key, err)
 	}
 	var rec record
@@ -267,5 +224,5 @@ func (s *Store) Get(key string) (sweep.AggregateCell, bool, error) {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.f.Close()
+	return s.j.Close()
 }

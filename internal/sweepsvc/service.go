@@ -42,9 +42,14 @@ package sweepsvc
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"neatbound/internal/distsweep"
 	"neatbound/internal/store"
@@ -67,6 +72,24 @@ type Options struct {
 	// Executor launches the coordinator's workers; nil runs them
 	// in-process.
 	Executor distsweep.Executor
+	// StallTimeout declares a shard attempt failed when its worker makes
+	// no record progress for this long, tearing it down and requeueing
+	// the shard under the retry budget (0 disables stall detection;
+	// distsweep.Options.StallTimeout semantics).
+	StallTimeout time.Duration
+	// RespawnBackoff is the base delay before relaunching a worker after
+	// a failure; consecutive failures back off exponentially with jitter
+	// on a wall clock (0 disables; distsweep.Options.RespawnBackoff
+	// semantics).
+	RespawnBackoff time.Duration
+	// Journal, when non-empty, is the path of the durable job journal:
+	// every submission is recorded (fsynced) before its job starts and
+	// struck out when the job reaches a user-visible terminal state —
+	// done, failed, or cancelled *by the user*. A cancellation caused by
+	// daemon shutdown is deliberately not terminal: those jobs are still
+	// owed a result, and Recover resubmits them on the next start, where
+	// the store turns already-finished cells into cache hits.
+	Journal string
 }
 
 // Job states.
@@ -176,6 +199,12 @@ type Event struct {
 	// marks a reassignment rather than a commit.
 	Shard   *int `json:"shard,omitempty"`
 	Retried bool `json:"retried,omitempty"`
+	// Stalled marks a retried "shard" event whose attempt was torn down
+	// by the coordinator's stall watchdog; Reason classifies the event
+	// (the distsweep.Reason* vocabulary: "stall", "launch", "error").
+	// Both add-only, forwarded verbatim from the coordinator's Progress.
+	Stalled bool   `json:"stalled,omitempty"`
+	Reason  string `json:"reason,omitempty"`
 }
 
 // cellCoord locates a cell by grid coordinates.
@@ -200,6 +229,9 @@ type job struct {
 	cellIdx map[cellCoord]int
 	ctx     context.Context
 	cancel  context.CancelFunc
+	// userCancel distinguishes a Cancel call from a daemon-shutdown
+	// cancellation: only the former journals a terminal record.
+	userCancel atomic.Bool
 
 	mu      sync.Mutex
 	status  JobStatus
@@ -244,41 +276,169 @@ func (j *job) Snapshot() JobStatus {
 	return snapshotLocked(j.status)
 }
 
+// jobJournalVersion is the current job-journal record version; records
+// with a newer version refuse to load (downgrade safety, same
+// discipline as the store and checkpoint journals).
+const jobJournalVersion = 1
+
+// jobRecord is one line of the durable job journal. A "submit" record
+// registers a job (Req set; Resumes names the prior-life job this
+// resubmission supersedes, if any); an "end" record strikes a job out
+// once it reaches a user-visible terminal state.
+type jobRecord struct {
+	V       int         `json:"v"`
+	Op      string      `json:"op"` // "submit" | "end"
+	ID      string      `json:"id"`
+	Resumes string      `json:"resumes,omitempty"`
+	State   string      `json:"state,omitempty"`
+	Req     *JobRequest `json:"req,omitempty"`
+}
+
+// recoveredJob is one unfinished prior-life submission awaiting Recover.
+type recoveredJob struct {
+	id  string
+	req JobRequest
+}
+
 // Service is the sweep service; see the package comment. Create with
 // New, shut down with Close.
 type Service struct {
-	opts Options
-	root context.Context
-	stop context.CancelFunc
-	wg   sync.WaitGroup
+	opts    Options
+	root    context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	journal *store.Journal // nil without Options.Journal
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	seq      int
-	inflight map[string]*flight
-	computed int // total cells computed (never served from cache) since New
+	mu        sync.Mutex
+	jobs      map[string]*job
+	seq       int
+	inflight  map[string]*flight
+	computed  int // total cells computed (never served from cache) since New
+	recovered []recoveredJob
 }
 
-// New builds a Service over a store.
+// jobSeq extracts the numeric suffix of a "job-N" id.
+func jobSeq(id string) (int, bool) {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	return n, err == nil && n > 0
+}
+
+// New builds a Service over a store. With Options.Journal set it also
+// replays the job journal: unfinished prior-life submissions are queued
+// for Recover, and the id sequence continues past every id the journal
+// has seen so no id is ever reused.
 func New(opts Options) (*Service, error) {
 	if opts.Store == nil {
 		return nil, errors.New("sweepsvc: Options.Store is required")
 	}
 	root, stop := context.WithCancel(context.Background())
-	return &Service{
+	s := &Service{
 		opts:     opts,
 		root:     root,
 		stop:     stop,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*flight),
-	}, nil
+	}
+	if opts.Journal != "" {
+		pending := make(map[string]*JobRequest)
+		var order []string
+		j, err := store.OpenJournal(opts.Journal, func(off int64, line []byte) error {
+			var rec jobRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return fmt.Errorf("%w: %v", store.ErrMalformed, err)
+			}
+			if rec.V > jobJournalVersion {
+				// Not ErrMalformed: a version this binary cannot read is a
+				// hard refusal even on the final line, never a torn tail.
+				return fmt.Errorf("sweepsvc: job journal record version %d is newer than this binary understands (%d)", rec.V, jobJournalVersion)
+			}
+			if n, ok := jobSeq(rec.ID); ok && n > s.seq {
+				s.seq = n
+			}
+			switch rec.Op {
+			case "submit":
+				if rec.Req == nil {
+					return fmt.Errorf("%w: submit record %q has no request", store.ErrMalformed, rec.ID)
+				}
+				if rec.Resumes != "" {
+					delete(pending, rec.Resumes)
+				}
+				if _, dup := pending[rec.ID]; !dup {
+					order = append(order, rec.ID)
+				}
+				pending[rec.ID] = rec.Req
+			case "end":
+				delete(pending, rec.ID)
+			default:
+				return fmt.Errorf("%w: unknown job journal op %q", store.ErrMalformed, rec.Op)
+			}
+			return nil
+		})
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.journal = j
+		for _, id := range order {
+			if req, ok := pending[id]; ok {
+				s.recovered = append(s.recovered, recoveredJob{id: id, req: *req})
+			}
+		}
+	}
+	return s, nil
+}
+
+// Recover resubmits every journalled job that had not reached a
+// user-visible terminal state when the previous process died — the jobs
+// the daemon still owes results for. Each gets a fresh id (the journal
+// links it to the one it supersedes); cells the previous life already
+// committed come straight from the store, so recovery recomputes only
+// what was genuinely lost. Call it once, after New and before serving
+// traffic; without Options.Journal, or with nothing to recover, it
+// returns nil. On a submission error the remaining jobs stay queued for
+// the next start.
+func (s *Service) Recover() ([]JobStatus, error) {
+	s.mu.Lock()
+	recovered := s.recovered
+	s.recovered = nil
+	s.mu.Unlock()
+	var out []JobStatus
+	for i, r := range recovered {
+		st, err := s.submit(r.req, r.id)
+		if err != nil {
+			s.mu.Lock()
+			s.recovered = append(s.recovered, recovered[i:]...)
+			s.mu.Unlock()
+			return out, fmt.Errorf("sweepsvc: recover %s: %w", r.id, err)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// journalEnd strikes a terminal job out of the durable journal. A
+// daemon-shutdown cancellation is deliberately not recorded — Recover
+// resubmits those jobs next start. Append failures are swallowed: the
+// worst case is one spurious resubmission on the next start, which the
+// store then serves almost entirely from cache — strictly safer than
+// dropping a job the user is owed.
+func (s *Service) journalEnd(j *job, state string) {
+	if s.journal == nil || (state == StateCancelled && !j.userCancel.Load()) {
+		return
+	}
+	if line, err := json.Marshal(jobRecord{V: jobJournalVersion, Op: "end", ID: j.id, State: state}); err == nil {
+		s.journal.Append(line)
+	}
 }
 
 // Close cancels every running job and waits for them to finish. The
-// store is the caller's to close.
+// store is the caller's to close; the job journal is the service's.
 func (s *Service) Close() {
 	s.stop()
 	s.wg.Wait()
+	if s.journal != nil {
+		s.journal.Close()
+	}
 }
 
 // ComputedCells reports how many cells the service has actually
@@ -327,6 +487,14 @@ func CellKeys(sw distsweep.Sweep) []string {
 // returned status is the job's initial snapshot; follow it via Status,
 // Watch, or the HTTP endpoints.
 func (s *Service) Submit(req JobRequest) (JobStatus, error) {
+	return s.submit(req, "")
+}
+
+// submit is Submit plus the recovery linkage: a non-empty resumes names
+// the prior-life job this submission supersedes, recorded on the
+// journal's submit line so one fsynced record atomically registers the
+// new job and strikes out the old.
+func (s *Service) submit(req JobRequest, resumes string) (JobStatus, error) {
 	sw := req.Sweep()
 	if err := sw.Validate(); err != nil {
 		return JobStatus{}, err
@@ -348,6 +516,20 @@ func (s *Service) Submit(req JobRequest) (JobStatus, error) {
 	}
 	s.seq++
 	id := fmt.Sprintf("job-%d", s.seq)
+	if s.journal != nil {
+		// Journal before the job exists anywhere else (fsync-before-
+		// announce): a submission the caller saw accepted survives a
+		// crash. Appends happen under s.mu, so journal order is id order.
+		line, err := json.Marshal(jobRecord{V: jobJournalVersion, Op: "submit", ID: id, Resumes: resumes, Req: &req})
+		if err == nil {
+			_, _, err = s.journal.Append(line)
+		}
+		if err != nil {
+			s.seq--
+			s.mu.Unlock()
+			return JobStatus{}, fmt.Errorf("sweepsvc: journal submit: %w", err)
+		}
+	}
 	ctx, cancel := context.WithCancel(s.root)
 	j := &job{
 		id:      id,
@@ -392,6 +574,7 @@ func (s *Service) Cancel(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
+	j.userCancel.Store(true)
 	j.cancel()
 	return j.Snapshot(), true
 }
@@ -462,6 +645,7 @@ func (s *Service) run(j *job) {
 			j.result = result
 			j.mu.Unlock()
 			j.update(func(st *JobStatus) { st.State = StateDone }, &Event{Type: StateDone})
+			s.journalEnd(j, StateDone)
 			return
 		}
 	}
@@ -476,6 +660,7 @@ func (s *Service) run(j *job) {
 		st.State = state
 		st.Error = err.Error()
 	}, &Event{Type: state})
+	s.journalEnd(j, state)
 }
 
 // assemble merges the job's cached and fresh cells through the
@@ -671,10 +856,12 @@ func (s *Service) compute(j *job, owned []int, cells []sweep.AggregateCell) (err
 		shardBase := bases[i]
 		var cbErr error // first commit error inside a callback; callbacks are serialized
 		_, runErr := distsweep.Run(j.ctx, sub, distsweep.Options{
-			Workers:  s.opts.Workers,
-			Shards:   s.opts.TargetShards,
-			Retries:  s.opts.Retries,
-			Executor: s.opts.Executor,
+			Workers:        s.opts.Workers,
+			Shards:         s.opts.TargetShards,
+			Retries:        s.opts.Retries,
+			Executor:       s.opts.Executor,
+			StallTimeout:   s.opts.StallTimeout,
+			RespawnBackoff: s.opts.RespawnBackoff,
 			OnProgress: func(p distsweep.Progress) {
 				shard := shardBase + p.Shard
 				retried := p.Retried
@@ -688,7 +875,8 @@ func (s *Service) compute(j *job, owned []int, cells []sweep.AggregateCell) (err
 					} else {
 						st.ShardsDone++
 					}
-				}, &Event{Type: "shard", Shard: &shard, Retried: retried})
+				}, &Event{Type: "shard", Shard: &shard, Retried: retried,
+					Stalled: p.Stalled, Reason: p.Reason})
 			},
 			OnCell: func(cell sweep.AggregateCell) {
 				idx, ok := j.cellIdx[cellCoord{cell.Nu, cell.C}]

@@ -3,6 +3,8 @@ package sweepsvc_test
 import (
 	"bytes"
 	"context"
+	"errors"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -447,5 +449,167 @@ func TestStoreSurvivesRestart(t *testing.T) {
 	}
 	if !bytes.Equal(r1, r2) {
 		t.Error("restart changed the served bytes")
+	}
+}
+
+// journalledService opens a service over dir's store with the durable
+// job journal enabled — the cross-restart fixture the recovery tests
+// share. Callers own Close (no t.Cleanup: the tests restart services
+// explicitly and double-Close would hide ordering bugs).
+func journalledService(t *testing.T, dir string, opts sweepsvc.Options) *sweepsvc.Service {
+	t.Helper()
+	st, err := store.Open(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	opts.Store = st
+	opts.Journal = filepath.Join(dir, "jobs.log")
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	svc, err := sweepsvc.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestJournalRecoversUnfinishedJobs is the daemon-restart half of the
+// fault-tolerance story: a job in flight when the daemon shuts down is
+// resubmitted by Recover on the next start and runs to the same bytes a
+// never-interrupted submission would have produced; once done, a third
+// life has nothing left to recover.
+func TestJournalRecoversUnfinishedJobs(t *testing.T) {
+	dir := t.TempDir()
+	req := testReq()
+
+	// Life 1: the job wedges in the executor; Close is daemon shutdown,
+	// not user cancellation, so the journal keeps the job open.
+	exec := &blockingExecutor{started: make(chan struct{})}
+	svc1 := journalledService(t, dir, sweepsvc.Options{Executor: exec})
+	st0, err := svc1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exec.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never reached the executor")
+	}
+	svc1.Close()
+
+	// Life 2: Recover resubmits it under a fresh id and it finishes.
+	svc2 := journalledService(t, dir, sweepsvc.Options{})
+	recovered, err := svc2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(recovered))
+	}
+	if recovered[0].ID == st0.ID {
+		t.Errorf("recovered job reused id %s", st0.ID)
+	}
+	st, _ := waitJob(t, svc2, recovered[0].ID)
+	if st.State != sweepsvc.StateDone {
+		t.Fatalf("recovered job: %s (%s)", st.State, st.Error)
+	}
+	got, err := svc2.Result(recovered[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := coldBytes(t, req); !bytes.Equal(got, want) {
+		t.Error("recovered job's result differs from cold RunSweep")
+	}
+	svc2.Close()
+
+	// Life 3: the done record struck the job out; nothing to recover.
+	svc3 := journalledService(t, dir, sweepsvc.Options{})
+	defer svc3.Close()
+	if recovered, err := svc3.Recover(); err != nil || len(recovered) != 0 {
+		t.Errorf("third life recovered %d jobs (err %v), want none", len(recovered), err)
+	}
+}
+
+// TestJournalUserCancelIsTerminal: a job the user cancelled stays
+// cancelled — it must not rise from the journal on the next start.
+func TestJournalUserCancelIsTerminal(t *testing.T) {
+	dir := t.TempDir()
+	exec := &blockingExecutor{started: make(chan struct{})}
+	svc1 := journalledService(t, dir, sweepsvc.Options{Executor: exec})
+	st0, err := svc1.Submit(testReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exec.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never reached the executor")
+	}
+	if _, ok := svc1.Cancel(st0.ID); !ok {
+		t.Fatalf("cancel: job %s unknown", st0.ID)
+	}
+	if st, _ := waitJob(t, svc1, st0.ID); st.State != sweepsvc.StateCancelled {
+		t.Fatalf("cancelled job ended %s (%s)", st.State, st.Error)
+	}
+	svc1.Close()
+
+	svc2 := journalledService(t, dir, sweepsvc.Options{})
+	defer svc2.Close()
+	if recovered, err := svc2.Recover(); err != nil || len(recovered) != 0 {
+		t.Errorf("user-cancelled job recovered (%d jobs, err %v), want none", len(recovered), err)
+	}
+}
+
+// flakyLaunchExecutor fails its first Start and then delegates — the
+// smallest fault that exercises the coordinator's launch-retry path
+// through the service.
+type flakyLaunchExecutor struct {
+	inner distsweep.Executor
+	n     int32
+	mu    sync.Mutex
+}
+
+func (e *flakyLaunchExecutor) Start(ctx context.Context, id int) (*distsweep.WorkerConn, error) {
+	e.mu.Lock()
+	e.n++
+	first := e.n == 1
+	e.mu.Unlock()
+	if first {
+		return nil, errors.New("flaky launch")
+	}
+	return e.inner.Start(ctx, id)
+}
+
+// TestShardEventsCarryRetryReason: a retried shard's event must reach
+// watchers (and thus the SSE stream) with the coordinator's failure
+// classification attached.
+func TestShardEventsCarryRetryReason(t *testing.T) {
+	exec := &flakyLaunchExecutor{inner: distsweep.InProcess{}}
+	svc, _ := newService(t, sweepsvc.Options{
+		Executor:       exec,
+		Workers:        1,
+		RespawnBackoff: time.Millisecond,
+	})
+	st0, err := svc.Submit(testReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, events := waitJob(t, svc, st0.ID)
+	if st.State != sweepsvc.StateDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+	if st.Retries == 0 {
+		t.Fatal("flaky launch produced no retries")
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Type == "shard" && ev.Retried && ev.Reason == distsweep.ReasonLaunch {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no shard event carried Retried + Reason=%q; events: %+v", distsweep.ReasonLaunch, events)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"neatbound/internal/adversary"
 	"neatbound/internal/consistency"
@@ -123,6 +124,10 @@ type runOptions struct {
 	targetShards    int
 	shardRetries    int
 	onSweepProgress func(SweepProgress)
+	checkpointDir   string
+	resume          bool
+	stallTimeout    time.Duration
+	respawnBackoff  time.Duration
 }
 
 // optionScope marks which entry points accept an option.
