@@ -6,7 +6,7 @@ GO ?= go
 # append-only — bench refuses to overwrite an existing one.
 BENCH_LABEL ?= current
 
-.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist test-skip test-mem test-svc test-chaos bench bench-mem
+.PHONY: verify fmt vet build examples docs-check test test-race test-parallel test-pool test-dist test-skip test-mem test-svc test-chaos test-scenarios bench bench-mem
 
 ## verify: the full tier-1 gate — formatting, vet, build (`go build
 ## ./...` compiles the examples too), the package-doc check, the quick
@@ -14,7 +14,7 @@ BENCH_LABEL ?= current
 ## memory/compaction, sweep-service, and fault-tolerance checks, and
 ## the race test suite (~6 min; internal/dist's statistical tests
 ## dominate).
-verify: fmt vet build docs-check test-pool test-dist test-skip test-mem test-svc test-chaos test-race
+verify: fmt vet build docs-check test-pool test-dist test-skip test-mem test-svc test-chaos test-scenarios test-race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -102,6 +102,20 @@ test-svc:
 test-chaos:
 	$(GO) test -race -short -run 'Chaos|Checkpoint|Resume|Stall|Backoff|Permanent|SweepKey|Journal|StderrTail' \
 		./internal/distsweep/ ./internal/store/ ./internal/sweepsvc/ ./cmd/sweepd/ ./cmd/sweep/
+
+## test-scenarios: seconds-long short-mode race pass over the scenario
+## layer (docs/scenarios.md) — the stochastic delay policies' delivery
+## window and recipient-invariance properties, the partition heal, churn
+## selection and weighted mining (incl. the all-ones ≡ unweighted
+## identity and the FastForward disarm), the scenario golden traces
+## across shard counts and the pool, the interchange/shard-spec fuzz
+## seed corpora, and the xval theory cross-checks (every scenario must
+## sit on the correct side of the paper's bounds near c*). Every
+## stochastic check prints its seed in the failure message, so a red
+## run replays exactly.
+test-scenarios:
+	$(GO) test -race -short -run 'Scenario|Churn|Weighted|Partition|Bursty|CrossCheck|Threshold|Compile|SkewedWeights|ParseRoundTrip|ValidateRejects|Fuzz' \
+		./internal/network/ ./internal/engine/ ./internal/scenario/... ./internal/sweep/ ./internal/distsweep/ .
 
 ## bench: run the façade benchmarks, then append the BENCH_engine.json
 ## entry labeled $(BENCH_LABEL) — the core count is stamped

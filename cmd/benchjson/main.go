@@ -55,8 +55,14 @@ type entry struct {
 	// memory-only knob).
 	CompactEvery     int `json:"compact_every,omitempty"`
 	CheckerRetention int `json:"checker_retention,omitempty"`
-	Cores            int `json:"cores"`
-	Procs            int `json:"gomaxprocs,omitempty"`
+	// Scenario records the scenario-layer argument of the measured run
+	// (preset name or inline JSON, docs/scenarios.md; "" = default
+	// model). Unlike the knobs above it changes simulation semantics, so
+	// scenario entries are only comparable to entries with the same
+	// scenario.
+	Scenario string `json:"scenario,omitempty"`
+	Cores    int    `json:"cores"`
+	Procs    int    `json:"gomaxprocs,omitempty"`
 	// Results, normalized per simulated round.
 	RoundsPerSec   float64 `json:"rounds_per_sec"`
 	NsPerRound     float64 `json:"ns_per_round"`
@@ -92,6 +98,7 @@ func main() {
 		ff      = flag.Bool("fast-forward", false, "enable event-driven round skipping")
 		compact = flag.Int("compact-every", 0, "arena compaction interval in rounds (0 = off)")
 		retain  = flag.Int("checker-retention", 0, "checker snapshot retention window (0 = full history)")
+		scn     = flag.String("scenario", "", "scenario preset name or inline JSON spec (docs/scenarios.md; empty = default model)")
 	)
 	flag.Parse()
 
@@ -99,10 +106,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	e, err := measure(pr, *rounds, *iters, *shards, *ff, *compact, *retain)
+	spec, err := neatbound.ParseScenario(*scn)
 	if err != nil {
 		fatal(err)
 	}
+	e, err := measure(pr, *rounds, *iters, *shards, *ff, *compact, *retain, spec)
+	if err != nil {
+		fatal(err)
+	}
+	e.Scenario = *scn
 	e.Label = *label
 	e.Date = time.Now().UTC().Format("2006-01-02")
 
@@ -139,7 +151,7 @@ func main() {
 // BenchmarkSimulationRound body) and reports per-round cost. Allocation
 // counts come from runtime.MemStats deltas, matching -benchmem; peak
 // heap comes from a background sampler running across the timed loop.
-func measure(pr params.Params, rounds, iters, shards int, fastForward bool, compactEvery, retention int) (entry, error) {
+func measure(pr params.Params, rounds, iters, shards int, fastForward bool, compactEvery, retention int, scenario *neatbound.ScenarioSpec) (entry, error) {
 	if iters < 1 || rounds < 1 {
 		return entry{}, fmt.Errorf("benchjson: iters and rounds must be ≥ 1")
 	}
@@ -151,6 +163,7 @@ func measure(pr params.Params, rounds, iters, shards int, fastForward bool, comp
 			FastForward:      fastForward,
 			CompactEvery:     compactEvery,
 			CheckerRetention: retention,
+			Scenario:         scenario,
 		})
 		return err
 	}

@@ -64,10 +64,16 @@ func run(args []string) error {
 		"engine delivery shards: an integer (0 = serial) or \"auto\"; any value is bit-identical")
 	ff := fs.Bool("fast-forward", false,
 		"event-driven round skipping for sparse-mining regimes; bit-identical (see docs/fastforward.md)")
+	scenarioArg := fs.String("scenario", "",
+		"scenario layer: a preset name ("+strings.Join(neatbound.ScenarioNames(), "|")+") or a JSON spec (docs/scenarios.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	pr, err := neatbound.ParamsFromC(*n, *delta, *nu, *c)
+	if err != nil {
+		return err
+	}
+	scn, err := neatbound.ParseScenario(*scenarioArg)
 	if err != nil {
 		return err
 	}
@@ -92,6 +98,9 @@ func run(args []string) error {
 	}
 	if *ff {
 		opts = append(opts, neatbound.WithFastForward())
+	}
+	if scn != nil {
+		opts = append(opts, neatbound.WithScenario(scn))
 	}
 	rep, err := neatbound.Run(context.Background(), pr, opts...)
 	if err != nil {

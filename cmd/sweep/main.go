@@ -116,6 +116,8 @@ func run(args []string) error {
 	checkpointDir := fs.String("checkpoint", "", "coordinator mode: journal committed shards in this directory (resumable with -resume)")
 	resume := fs.Bool("resume", false, "coordinator mode: replay the -checkpoint journal and compute only the missing shards")
 	stallTimeout := fs.Duration("stall-timeout", 0, "coordinator mode: fail a shard attempt after this long without worker progress (0 = disabled)")
+	scenarioArg := fs.String("scenario", "",
+		"scenario layer per cell: a preset name ("+strings.Join(neatbound.ScenarioNames(), "|")+") or a JSON spec (docs/scenarios.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -142,6 +144,10 @@ func run(args []string) error {
 	if _, err := neatbound.NewAdversaryByName(*advName, neatbound.AdversaryOpts{ForkDepth: *forkDepth}); err != nil {
 		return err
 	}
+	scn, err := neatbound.ParseScenario(*scenarioArg)
+	if err != nil {
+		return err
+	}
 	grid := neatbound.SweepGrid{N: *n, Delta: *delta, NuValues: nus, CValues: cs}
 	opts := []neatbound.Option{
 		neatbound.WithRounds(*rounds),
@@ -150,6 +156,9 @@ func run(args []string) error {
 		neatbound.WithAdversaryName(*advName, neatbound.AdversaryOpts{ForkDepth: *forkDepth}),
 		neatbound.WithShards(*shards),
 		neatbound.WithReplicates(*replicates),
+	}
+	if scn != nil {
+		opts = append(opts, neatbound.WithScenario(scn))
 	}
 	// Single-process and coordinator mode produce bit-identical grids;
 	// the only difference is who executes the cells.

@@ -209,6 +209,7 @@ func RunSweepDistributed(ctx context.Context, grid SweepGrid, opts ...Option) ([
 		CompactEvery:     o.compactEvery,
 		CompactMinRetire: o.compactMin,
 		CheckerRetention: o.checkerRetain,
+		Scenario:         o.scenarioSpec,
 	}
 	if o.advNameSet {
 		s.Adversary = o.advName

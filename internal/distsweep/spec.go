@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"neatbound/internal/adversary"
+	"neatbound/internal/scenario"
 )
 
 // SpecVersion is the protocol version stamped on every shard-spec and
@@ -69,6 +70,11 @@ type Sweep struct {
 	// the parent's full list — and get exactly the cells the parent's
 	// single-process run would have computed.
 	CellOffset int
+	// Scenario, when non-nil, applies the scenario layer (stochastic
+	// delays, partitions, churn, skewed mining power — internal/scenario)
+	// to every cell. It is JSON-portable by construction, so it travels
+	// on the shard spec verbatim. Nil runs the default model.
+	Scenario *scenario.Spec
 }
 
 // Validate rejects sweeps the coordinator cannot drive. Beyond the
@@ -94,6 +100,9 @@ func (s Sweep) Validate() error {
 		if _, err := adversary.ByName(s.Adversary, s.ForkDepth); err != nil {
 			return fmt.Errorf("distsweep: %w", err)
 		}
+	}
+	if err := s.Scenario.Validate(); err != nil {
+		return fmt.Errorf("distsweep: %w", err)
 	}
 	seen := make(map[cellKey]struct{}, len(s.NuValues)*len(s.CValues))
 	for _, nu := range s.NuValues {
@@ -164,6 +173,10 @@ type ShardSpec struct {
 	// cell (0, 0), applied on top of the shard's own NuOffset shift when
 	// the worker derives per-cell seeds.
 	CellOffset int `json:"cell_offset,omitempty"`
+	// Scenario mirrors Sweep.Scenario (add-only; absent = nil = the
+	// default model, so v1 specs from older coordinators run unchanged
+	// and old wire bytes stay byte-identical).
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
 }
 
 // fullRange reports whether the shard covers its cells' entire
@@ -202,6 +215,9 @@ func (sp ShardSpec) validate() error {
 	if sp.RepLo < 0 || sp.RepHi <= sp.RepLo || sp.RepHi > sp.Replicates {
 		return fmt.Errorf("distsweep: shard %d: replicate range [%d, %d) invalid for %d replicates",
 			sp.Shard, sp.RepLo, sp.RepHi, sp.Replicates)
+	}
+	if err := sp.Scenario.Validate(); err != nil {
+		return fmt.Errorf("distsweep: shard %d: %w", sp.Shard, err)
 	}
 	return nil
 }
@@ -311,6 +327,7 @@ func Partition(s Sweep, shards int) []ShardSpec {
 				CompactMinRetire: s.CompactMinRetire,
 				CheckerRetention: s.CheckerRetention,
 				CellOffset:       s.CellOffset,
+				Scenario:         s.Scenario,
 			})
 			id++
 		}

@@ -122,6 +122,7 @@ func runShard(ctx context.Context, spec ShardSpec, opts WorkerOptions, enc *json
 		CompactMinRetire: spec.CompactMinRetire,
 		CheckerRetention: spec.CheckerRetention,
 		Pool:             opts.Pool,
+		Scenario:         spec.Scenario,
 		CellOffset:       spec.CellOffset + spec.NuOffset*len(spec.CValues),
 		RepOffset:        spec.RepLo,
 	}

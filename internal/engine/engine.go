@@ -154,6 +154,19 @@ type Config struct {
 	// be worth the rebase (0 picks the 1024 default). Tests set 1 to
 	// force compaction on tiny trees.
 	CompactMinRetire int
+	// Churn, when non-nil, schedules honest mining participation churn:
+	// each epoch a seeded-hash-chosen subset of honest players is on
+	// leave and makes no oracle queries (views are kept — see churn.go
+	// for the model and its determinism contract). Incompatible with
+	// NuSchedule and with oracle mining; disarms FastForward.
+	Churn *ChurnPlan
+	// MiningWeights, when non-nil, gives honest player i the relative
+	// mining power MiningWeights[i]: the honest side makes Σweights
+	// queries per round and winner identities are weight-proportional
+	// (see churn.go). len must equal the honest count; all weights 1 is
+	// bit-identical to nil. Incompatible with NuSchedule and with oracle
+	// mining; disarms FastForward.
+	MiningWeights []int
 }
 
 // AutoShards, assigned to Config.Shards, selects the delivery-phase
@@ -304,6 +317,14 @@ type Engine struct {
 	// scratch (see compact.go).
 	nextCompact int
 	retainBuf   []blockchain.BlockID
+	// Scenario mining state (Config.Churn / Config.MiningWeights; see
+	// churn.go): units maps mining units to owning players for the
+	// current churn epoch (unitsEpoch; -1 = not built), churnOff and
+	// churnRank are the epoch-selection scratch.
+	units      []int32
+	unitsEpoch int
+	churnOff   []bool
+	churnRank  []int
 }
 
 // New validates cfg and builds an engine.
@@ -327,6 +348,9 @@ func New(cfg Config) (*Engine, error) {
 	net, err := network.New(players, cfg.Params.Delta)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if err := validateScenarioMining(&cfg, honest); err != nil {
+		return nil, err
 	}
 	adv := cfg.Adversary
 	if adv == nil {
@@ -395,6 +419,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.ctx = Context{e: e}
 	e.ff.preH, e.ff.preA = -1, -1
+	e.unitsEpoch = -1
 	return e, nil
 }
 
@@ -745,6 +770,17 @@ func (e *Engine) step() (RoundRecord, error) {
 		// Query only the honest prefix, mirroring the statistical path:
 		// corrupted players' queries are the adversary's (step 3).
 		winners = e.oracle.mineRound(e.tips[:e.honest], e.winnersBuf)
+	} else if e.scenarioMining() {
+		// Unit-based mining (churn/weights; see churn.go): one query per
+		// active mining unit, winners mapped back to owning players. A
+		// player winning through several units chains its blocks — the
+		// second extends the first, exactly like sequential self-mining.
+		units := e.miningUnits(t)
+		k := mining.MineCount(e.mineRg, len(units), e.pr.P)
+		winners = mining.WinnersInto(e.mineRg, len(units), k, e.winnersBuf)
+		for j, u := range winners {
+			winners[j] = int(units[u])
+		}
 	} else {
 		k := e.ff.preH
 		if k < 0 {

@@ -114,6 +114,13 @@ func (e *Engine) armFastForward() {
 	if !e.cfg.FastForward || e.cfg.NuSchedule != nil || e.oracle != nil {
 		return
 	}
+	if e.scenarioMining() {
+		// Churn/weights break the one-uniform-per-round gap-sampling
+		// pattern (the honest binomial's N varies per epoch and winner
+		// identities draw over units, not players): fall back to stepping
+		// rather than silently diverge.
+		return
+	}
 	q, ok := e.adv.(SpanQuiescent)
 	if !ok || !q.SkipSafe() {
 		return

@@ -50,6 +50,9 @@ func (m *oracleMiner) mineRound(tips []blockchain.BlockID, buf []int) []int {
 // sampling to literal hash queries. Call before Run. The key seeds the
 // shared random function H.
 func (e *Engine) WithOracleMining(key uint64) error {
+	if e.scenarioMining() {
+		return fmt.Errorf("engine: oracle mining cannot be combined with Churn/MiningWeights")
+	}
 	om, err := newOracleMiner(e.pr.P, key, e.mineRg.Split(3))
 	if err != nil {
 		return err

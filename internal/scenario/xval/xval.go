@@ -1,0 +1,329 @@
+// Package xval cross-validates the scenario layer against the paper's
+// quantitative predictions. For each scenario it runs the sweep
+// pipeline near the neat-bound threshold c* = 2µ/ln(µ/ν) and asserts
+// that the empirical violation behavior sits on the correct side of the
+// theory: a probe well above c* (in the scenario's effective frame)
+// must show zero Definition-1 violations, a probe well below it must
+// violate, the convergence-opportunity and adversarial-block counts
+// must track the Eq. 26/27 rates (computed from the Markov chain
+// C_{F‖P} with the scenario's effective honest count), and adaptive
+// grid refinement — repeated single-cell sweeps bisecting the probe
+// interval — must place the empirical security threshold at or below
+// the paper's sufficient bound.
+//
+// Scenarios that only reshape the delay schedule (iid, bursty,
+// recipient, partition) validate the theorems' "any Δ-bounded
+// schedule" quantifier: their predictions are exactly the uniform
+// model's. Churn shrinks the effective honest count (leavers stop
+// querying), so the harness rebuilds ν, c and the chain rates in the
+// effective frame before comparing. Skewed power keeps the total
+// honest weight fixed, so every rate-based prediction is unchanged.
+package xval
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"neatbound/internal/adversary"
+	"neatbound/internal/bounds"
+	"neatbound/internal/engine"
+	"neatbound/internal/markov"
+	"neatbound/internal/params"
+	"neatbound/internal/scenario"
+	"neatbound/internal/sweep"
+)
+
+// Config parameterizes one scenario cross-check. The zero values of the
+// tuning fields pick defaults sized for a short-mode test run.
+type Config struct {
+	// N, Delta, Nu fix the system; Rounds and Replicates the per-cell
+	// execution; T the Definition-1 chop; Seed the base RNG seed.
+	N, Delta   int
+	Nu         float64
+	Rounds     int
+	T          int
+	Replicates int
+	Seed       uint64
+	// ForkDepth is the private-mining adversary's published fork depth
+	// (0 = adversary default). The private strategy is the harness's
+	// violation generator: it is the one built-in adversary that
+	// manufactures deep forks.
+	ForkDepth int
+	// Workers bounds the sweep job queue (0 = GOMAXPROCS).
+	Workers int
+	// Scenario is the scenario under test; nil cross-checks the default
+	// model (the harness's own control).
+	Scenario *scenario.Spec
+
+	// SafeFactor places the no-violation probe at SafeFactor·c* in the
+	// effective frame (0 = 2.5). UnsafeC places the must-violate probe
+	// (effective frame; 0 = 0.25). RefineSteps is the bisection depth
+	// (0 = 4). Tolerance is the relative error allowed on the Eq. 26/27
+	// rate checks (0 = 0.35).
+	SafeFactor  float64
+	UnsafeC     float64
+	RefineSteps int
+	Tolerance   float64
+}
+
+// Report is one scenario's cross-check outcome. CrossCheck returns it
+// alongside a nil error only when every assertion passed.
+type Report struct {
+	// Scenario names the scenario ("" = default model).
+	Scenario string
+	// Nu and NuEff are the nominal and effective adversarial fractions
+	// (they differ only under churn); CNeat is the paper's bound c* at
+	// NuEff; CScale maps nominal c to effective c (effective = nominal
+	// · CScale).
+	Nu, NuEff, CNeat, CScale float64
+	// CSafe and CUnsafe are the nominal probe positions; their
+	// ViolationRuns counts follow.
+	CSafe, CUnsafe                         float64
+	SafeViolationRuns, UnsafeViolationRuns int
+	// CEmpirical is the bisected empirical security threshold in the
+	// effective frame — the smallest probed effective c with zero
+	// violating replicates. It must land strictly inside the probe
+	// bracket (CUnsafe, SafeFactor·CNeat]: above the provably insecure
+	// probe, and within the finite-size slack factor of the paper's
+	// asymptotic bound. (The bound itself is asymptotic: at finite n,
+	// Δ and T the per-attempt deep-fork success probability (ν/µ)^T is
+	// c-independent, so a fixed-round run pays a constant factor over
+	// c* — the SafeFactor — rather than violating exactly at c*.)
+	CEmpirical float64
+	// PredictedConvergence/EmpiricalConvergence and PredictedAdversary/
+	// EmpiricalAdversary are the Eq. 26/27 cross-checks at the safe
+	// probe.
+	PredictedConvergence, EmpiricalConvergence float64
+	PredictedAdversary, EmpiricalAdversary     float64
+}
+
+// effectiveFrame is the system the theory sees after scenario
+// adjustments: under churn only honest−Leave players query per round,
+// so ν, c and the chain rates must be recomputed before comparing
+// against the bounds.
+type effectiveFrame struct {
+	honest  int     // honest players querying per round
+	nActive int     // honest + adversary queries per round
+	nuEff   float64 // adversary share of active queries
+	cScale  float64 // nominal c → effective c multiplier
+}
+
+// frameFor resolves the scenario's effective frame against pr.
+func frameFor(spec *scenario.Spec, pr params.Params) (effectiveFrame, error) {
+	honest := pr.HonestCount()
+	advN := pr.AdversaryCount()
+	comp, err := spec.Compile(pr)
+	if err != nil {
+		return effectiveFrame{}, err
+	}
+	if comp.Churn != nil {
+		honest -= comp.Churn.Leave
+	}
+	nActive := honest + advN
+	return effectiveFrame{
+		honest:  honest,
+		nActive: nActive,
+		nuEff:   float64(advN) / float64(nActive),
+		cScale:  float64(pr.N) / float64(nActive),
+	}, nil
+}
+
+// chainRate returns the stationary convergence-opportunity probability
+// ᾱ^{2Δ}·α₁ for h honest players at hardness p — computed through the
+// Markov chain C_{F‖P} (markov.ConcatChain), not the closed form, so
+// the harness cross-checks the chain construction against Eq. 44 at the
+// same time: the two must agree to floating-point accuracy.
+func chainRate(h int, p float64, delta int) (float64, error) {
+	hf := float64(h)
+	alphaBar := math.Exp(hf * math.Log1p(-p))
+	alpha1 := p * hf * math.Exp((hf-1)*math.Log1p(-p))
+	cc, err := markov.NewConcatChain(alphaBar, alpha1, delta)
+	if err != nil {
+		return 0, err
+	}
+	analytic := cc.AnalyticConvergenceProb()
+	closed := math.Exp(2*float64(delta)*math.Log(alphaBar)) * alpha1
+	if d := math.Abs(analytic - closed); d > 1e-9*math.Max(analytic, closed) {
+		return 0, fmt.Errorf("xval: chain convergence prob %g disagrees with Eq. 44 closed form %g", analytic, closed)
+	}
+	return analytic, nil
+}
+
+// withDefaults fills the tuning fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.SafeFactor == 0 {
+		cfg.SafeFactor = 2.5
+	}
+	if cfg.UnsafeC == 0 {
+		cfg.UnsafeC = 0.25
+	}
+	if cfg.RefineSteps == 0 {
+		cfg.RefineSteps = 4
+	}
+	if cfg.Tolerance == 0 {
+		cfg.Tolerance = 0.35
+	}
+	if cfg.Replicates == 0 {
+		cfg.Replicates = 2
+	}
+	return cfg
+}
+
+// probe runs the scenario sweep over the given nominal c values and
+// returns the cells in input order — the harness's one door into the
+// sweep pipeline (the same RunGrid that backs neatbound.RunSweep).
+func probe(ctx context.Context, cfg Config, cs []float64) ([]sweep.AggregateCell, error) {
+	name, forkDepth := "private", cfg.ForkDepth
+	scfg := sweep.Config{
+		N:        cfg.N,
+		Delta:    cfg.Delta,
+		NuValues: []float64{cfg.Nu},
+		CValues:  cs,
+		Rounds:   cfg.Rounds,
+		Seed:     cfg.Seed,
+		T:        cfg.T,
+		NewAdversary: func() engine.Adversary {
+			adv, err := adversary.ByName(name, forkDepth)
+			if err != nil {
+				panic(err) // unreachable: validated in CrossCheck
+			}
+			return adv
+		},
+		Workers:  cfg.Workers,
+		Scenario: cfg.Scenario,
+	}
+	cells, err := sweep.RunGrid(ctx, scfg, cfg.Replicates, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, cell := range cells {
+		if cell.Err != nil {
+			return nil, fmt.Errorf("xval: cell (ν=%g, c=%g) failed: %w", cell.Nu, cell.C, cell.Err)
+		}
+	}
+	return cells, nil
+}
+
+// FindThreshold bisects the nominal-c interval [cLo, cHi] — cLo known
+// violating, cHi known clean — through steps single-cell sweeps and
+// returns the smallest probed c with zero violating replicates: the
+// adaptive grid refinement of the cross-check, reusable on its own for
+// mapping a scenario's empirical security threshold.
+func FindThreshold(ctx context.Context, cfg Config, cLo, cHi float64, steps int) (float64, error) {
+	cfg = cfg.withDefaults()
+	for i := 0; i < steps; i++ {
+		mid := (cLo + cHi) / 2
+		cells, err := probe(ctx, cfg, []float64{mid})
+		if err != nil {
+			return 0, err
+		}
+		if cells[0].ViolationRuns > 0 {
+			cLo = mid
+		} else {
+			cHi = mid
+		}
+	}
+	return cHi, nil
+}
+
+// CrossCheck runs the full cross-validation for one scenario and
+// returns its Report; any assertion failure is an error carrying the
+// scenario name and seed, so a red run replays exactly.
+func CrossCheck(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	name := "default"
+	if cfg.Scenario != nil && cfg.Scenario.Name != "" {
+		name = cfg.Scenario.Name
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("xval %s (seed=%#x): %s", name, cfg.Seed, fmt.Sprintf(format, args...))
+	}
+	if _, err := adversary.ByName("private", cfg.ForkDepth); err != nil {
+		return nil, fail("%v", err)
+	}
+	// Resolve the effective frame from a reference parameterization (the
+	// honest/adversary split depends only on n and ν, not on c).
+	refPr, err := params.FromC(cfg.N, cfg.Delta, cfg.Nu, 1)
+	if err != nil {
+		return nil, fail("%v", err)
+	}
+	frame, err := frameFor(cfg.Scenario, refPr)
+	if err != nil {
+		return nil, fail("%v", err)
+	}
+	cNeat, err := bounds.NeatBoundC(frame.nuEff)
+	if err != nil {
+		return nil, fail("%v", err)
+	}
+	// Probe positions in nominal c (what the sweep config takes); the
+	// theory comparisons happen in the effective frame.
+	cSafe := cfg.SafeFactor * cNeat / frame.cScale
+	cUnsafe := cfg.UnsafeC / frame.cScale
+	rep := &Report{
+		Scenario: name,
+		Nu:       cfg.Nu, NuEff: frame.nuEff,
+		CNeat: cNeat, CScale: frame.cScale,
+		CSafe: cSafe, CUnsafe: cUnsafe,
+	}
+	cells, err := probe(ctx, cfg, []float64{cUnsafe, cSafe})
+	if err != nil {
+		return nil, fail("%v", err)
+	}
+	unsafeCell, safeCell := cells[0], cells[1]
+	rep.UnsafeViolationRuns = unsafeCell.ViolationRuns
+	rep.SafeViolationRuns = safeCell.ViolationRuns
+	if safeCell.ViolationRuns != 0 {
+		return nil, fail("%d/%d replicates violated at effective c=%.3g > %.2f·c* (c*=%.3g): the neat bound's safe side is not safe",
+			safeCell.ViolationRuns, cfg.Replicates, cSafe*frame.cScale, cfg.SafeFactor, cNeat)
+	}
+	if unsafeCell.ViolationRuns == 0 {
+		return nil, fail("no replicate violated at effective c=%.3g ≪ c*=%.3g: the harness's violation generator is inert; raise rounds or lower UnsafeC",
+			cUnsafe*frame.cScale, cNeat)
+	}
+	// Eq. 26: convergence opportunities at the safe probe, predicted
+	// from the Markov chain with the effective honest count.
+	safePr, err := params.FromC(cfg.N, cfg.Delta, cfg.Nu, cSafe)
+	if err != nil {
+		return nil, fail("%v", err)
+	}
+	rate, err := chainRate(frame.honest, safePr.P, cfg.Delta)
+	if err != nil {
+		return nil, fail("%v", err)
+	}
+	rep.PredictedConvergence = float64(cfg.Rounds) * rate
+	rep.EmpiricalConvergence = safeCell.Convergence.Mean
+	if d := relErr(rep.EmpiricalConvergence, rep.PredictedConvergence); d > cfg.Tolerance {
+		return nil, fail("convergence opportunities %.1f vs Eq. 26 prediction %.1f (rel err %.2f > %.2f)",
+			rep.EmpiricalConvergence, rep.PredictedConvergence, d, cfg.Tolerance)
+	}
+	// Eq. 27: adversarial blocks at the safe probe. Scenarios never
+	// touch adversary mining, so the nominal rate applies unchanged.
+	rep.PredictedAdversary = float64(cfg.Rounds) * safePr.AdversaryBlockRate()
+	rep.EmpiricalAdversary = safeCell.Adversary.Mean
+	if d := relErr(rep.EmpiricalAdversary, rep.PredictedAdversary); d > cfg.Tolerance {
+		return nil, fail("adversarial blocks %.1f vs Eq. 27 prediction %.1f (rel err %.2f > %.2f)",
+			rep.EmpiricalAdversary, rep.PredictedAdversary, d, cfg.Tolerance)
+	}
+	// Adaptive refinement: bisect the probe interval and require the
+	// empirical security threshold to land strictly inside it — above
+	// the provably insecure probe and within the finite-size slack
+	// factor of the paper's bound.
+	thresh, err := FindThreshold(ctx, cfg, cUnsafe, cSafe, cfg.RefineSteps)
+	if err != nil {
+		return nil, fail("%v", err)
+	}
+	rep.CEmpirical = thresh * frame.cScale
+	if rep.CEmpirical > cfg.SafeFactor*cNeat {
+		return nil, fail("empirical security threshold c=%.3g exceeds %.2f·c* (c*=%.3g): violations persist beyond the bound's finite-size envelope",
+			rep.CEmpirical, cfg.SafeFactor, cNeat)
+	}
+	if rep.CEmpirical <= cUnsafe*frame.cScale {
+		return nil, fail("empirical security threshold c=%.3g at or below the insecure probe c=%.3g: refinement found no transition",
+			rep.CEmpirical, cUnsafe*frame.cScale)
+	}
+	return rep, nil
+}
+
+// relErr is |got−want|/want (want > 0).
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }

@@ -46,6 +46,7 @@ import (
 	"neatbound/internal/metrics"
 	"neatbound/internal/params"
 	"neatbound/internal/pool"
+	"neatbound/internal/scenario"
 )
 
 // seedGolden spreads per-replicate and per-cell seeds (the 64-bit golden
@@ -104,6 +105,12 @@ type Config struct {
 	// spawning competing goroutine fleets per cell. Nil shares the
 	// process-wide default pool. The pool never affects results.
 	Pool *pool.Pool
+	// Scenario, when non-nil, applies the scenario layer to every cell:
+	// the compiled delay policy replaces the adversary's honest-broadcast
+	// schedule, and churn/power schedules configure the cell engines
+	// (internal/scenario). Scenarios disarm FastForward — the engines
+	// fall back to stepping. Nil is the default model.
+	Scenario *scenario.Spec
 	// CellOffset and RepOffset place this grid inside a larger parent
 	// sweep for cross-process sharding: per-job seeds derive from the
 	// parent's ν-major cell index (local index + CellOffset) and the
@@ -276,7 +283,7 @@ func runCell(ctx context.Context, cfg Config, nu, c float64, seed uint64, sample
 	if cfg.NewAdversary != nil {
 		adv = cfg.NewAdversary()
 	}
-	e, err := engine.New(engine.Config{
+	ecfg := engine.Config{
 		Params:           pr,
 		Rounds:           cfg.Rounds,
 		Seed:             seed,
@@ -287,7 +294,23 @@ func runCell(ctx context.Context, cfg Config, nu, c float64, seed uint64, sample
 		FastForward:      cfg.FastForward,
 		CompactEvery:     cfg.CompactEvery,
 		CompactMinRetire: cfg.CompactMinRetire,
-	})
+	}
+	if cfg.Scenario != nil {
+		compiled, err := cfg.Scenario.Compile(pr)
+		if err != nil {
+			cell.Err = err
+			return cell
+		}
+		if compiled.Policy != nil {
+			if ecfg.Adversary == nil {
+				ecfg.Adversary = engine.PassiveAdversary{}
+			}
+			ecfg.Adversary = scenario.Wrap(ecfg.Adversary, compiled.Policy)
+		}
+		ecfg.Churn = compiled.Churn
+		ecfg.MiningWeights = compiled.Weights
+	}
+	e, err := engine.New(ecfg)
 	if err != nil {
 		cell.Err = err
 		return cell

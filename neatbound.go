@@ -213,6 +213,10 @@ type SimulationConfig struct {
 	// run; see WithCheckerRetention). Required for CompactEvery to make
 	// progress — a full-history checker pins the watermark near genesis.
 	CheckerRetention int
+	// Scenario, when non-nil, applies the scenario layer (stochastic
+	// delays, partitions, churn, skewed mining power — see WithScenario
+	// and docs/scenarios.md). Nil runs the default model.
+	Scenario *ScenarioSpec
 }
 
 // SimulationReport summarizes an executed run.
@@ -281,6 +285,9 @@ func Simulate(cfg SimulationConfig) (SimulationReport, error) {
 	}
 	if cfg.Adversary != nil {
 		opts = append(opts, WithAdversary(cfg.Adversary))
+	}
+	if cfg.Scenario != nil {
+		opts = append(opts, WithScenario(cfg.Scenario))
 	}
 	rep, err := Run(context.Background(), cfg.Params, opts...)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"neatbound/internal/engine"
 	"neatbound/internal/metrics"
 	"neatbound/internal/pool"
+	"neatbound/internal/scenario"
 	"neatbound/internal/sweep"
 )
 
@@ -118,6 +119,7 @@ type runOptions struct {
 	replicates    int
 	workers       int
 	onCell        func(AggregateCell)
+	scenarioSpec  *scenario.Spec
 
 	// distributed-sweep extras (distributed.go)
 	executor        ShardExecutor
@@ -299,6 +301,42 @@ func WithCheckerRetention(keep int) Option {
 		apply: func(o *runOptions) { o.checkerRetain = keep }}
 }
 
+// ScenarioSpec is a scenario-layer description (internal/scenario): a
+// stochastic or partitioned delay policy, a churn plan, and/or a skewed
+// mining-power profile, all JSON-portable. Build one with ParseScenario
+// (preset name or JSON literal) and pass it via WithScenario.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioNames lists the built-in scenario preset names ParseScenario
+// accepts.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ParseScenario resolves a CLI-style scenario argument: "" returns
+// (nil, nil) — the default model; a "{"-prefixed string parses as a
+// JSON ScenarioSpec; anything else must be a preset name
+// (ScenarioNames).
+func ParseScenario(arg string) (*ScenarioSpec, error) {
+	spec, err := scenario.Parse(arg)
+	if err != nil {
+		return nil, fmt.Errorf("neatbound: %w", err)
+	}
+	return spec, nil
+}
+
+// WithScenario applies the scenario layer to the run (or every sweep
+// cell): the spec's delay policy replaces the honest Δ-bound broadcast
+// schedule — always within the Δ envelope of the model — and its
+// churn/power sections configure scheduled player leave epochs and
+// per-player mining weights. Scenarios disarm FastForward (the engine
+// falls back to stepping; see docs/scenarios.md) and are incompatible
+// with WithNuSchedule. Nil is the default model. Run, RunSweep and
+// RunSweepDistributed — not sweepd submissions: the service's
+// content-addressed store keys do not cover scenarios.
+func WithScenario(spec *ScenarioSpec) Option {
+	return Option{name: "WithScenario", scope: scopeRun | scopeSweep | scopeDist,
+		apply: func(o *runOptions) { o.scenarioSpec = spec }}
+}
+
 // WithReplicates runs every sweep cell r times with independent seeds
 // and aggregates (default 1). RunSweep and RunSweepDistributed.
 func WithReplicates(r int) Option {
@@ -400,7 +438,7 @@ func Run(ctx context.Context, pr Params, opts ...Option) (*RunReport, error) {
 		}))
 	}
 	stack = append(stack, o.observers...)
-	e, err := engine.New(engine.Config{
+	ecfg := engine.Config{
 		Params:           pr,
 		Rounds:           o.rounds,
 		Seed:             o.seed,
@@ -411,7 +449,22 @@ func Run(ctx context.Context, pr Params, opts ...Option) (*RunReport, error) {
 		FastForward:      o.fastForward,
 		CompactEvery:     o.compactEvery,
 		CompactMinRetire: o.compactMin,
-	})
+	}
+	if o.scenarioSpec != nil {
+		compiled, err := o.scenarioSpec.Compile(pr)
+		if err != nil {
+			return nil, fmt.Errorf("neatbound: %w", err)
+		}
+		if compiled.Policy != nil {
+			if ecfg.Adversary == nil {
+				ecfg.Adversary = engine.PassiveAdversary{}
+			}
+			ecfg.Adversary = scenario.Wrap(ecfg.Adversary, compiled.Policy)
+		}
+		ecfg.Churn = compiled.Churn
+		ecfg.MiningWeights = compiled.Weights
+	}
+	e, err := engine.New(ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -528,6 +581,7 @@ func RunSweep(ctx context.Context, grid SweepGrid, opts ...Option) ([]AggregateC
 		CompactEvery:     o.compactEvery,
 		CompactMinRetire: o.compactMin,
 		CheckerRetention: o.checkerRetain,
+		Scenario:         o.scenarioSpec,
 	}, o.replicates, o.onCell)
 }
 
